@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates the data behind one table or figure of the paper
+at **benchmark scale** (72-node system, reduced volumes — see EXPERIMENTS.md).
+Runs are cached per (kind, routing, …) so figures that share a run (e.g.
+Figs 10-13 all analyse the same mixed-workload run) do not repeat it.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen the
+sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.analysis.mixed import MixedResult, mixed_study
+from repro.analysis.pairwise import PairwiseResult, pairwise_study
+from repro.experiments.configs import bench_config, bench_spec, mixed_workload_specs
+from repro.experiments.runner import RunResult, run_standalone, run_workloads
+
+#: Message-volume scale used by every benchmark run.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+#: Whether to run the full sweep (all targets/backgrounds/routings) or the
+#: representative subset (default).
+FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+#: Seed shared by every benchmark run (placements are identical across
+#: routings, as in the paper's methodology).
+BENCH_SEED = 7
+
+
+@lru_cache(maxsize=None)
+def standalone_run(name: str, routing: str, scale: float = BENCH_SCALE) -> RunResult:
+    """Cached standalone run of one application under one routing."""
+    return run_standalone(bench_config(routing, seed=BENCH_SEED), bench_spec(name, scale=scale))
+
+
+@lru_cache(maxsize=None)
+def pairwise_run(
+    target: str, background: str | None, routing: str, scale: float = BENCH_SCALE
+) -> PairwiseResult:
+    """Cached pairwise study (standalone baseline + co-run)."""
+    baseline = pairwise_run(target, None, routing, scale).standalone if background else None
+    return pairwise_study(
+        bench_config(routing, seed=BENCH_SEED),
+        target,
+        background,
+        scale=scale,
+        standalone_result=baseline,
+    )
+
+
+@lru_cache(maxsize=None)
+def mixed_run(routing: str, scale: float = BENCH_SCALE) -> MixedResult:
+    """Cached mixed-workload study (Table II proportions on 70 nodes)."""
+    config = bench_config(routing, seed=BENCH_SEED)
+    specs = tuple(mixed_workload_specs(total_nodes=70, scale=scale))
+    return mixed_study(config, list(specs))
+
+
+def routings_under_test() -> list[str]:
+    """Routing algorithms compared by the benchmarks (subset unless FULL)."""
+    if FULL_SWEEP:
+        return ["ugal-g", "ugal-n", "par", "q-adaptive"]
+    return ["par", "q-adaptive"]

@@ -1,0 +1,47 @@
+"""Fig. 9 — CosmoFlow / Halo3D throughput over time.
+
+Regenerates the throughput series of the CosmoFlow+Halo3D co-run and checks
+the computation-masking finding of Section V-D: CosmoFlow's long compute
+intervals hide the interference, so its communication time moves little even
+though Halo3D dominates the network for most of the run.
+"""
+
+from conftest import pairwise_run, routings_under_test
+
+from repro.analysis.reports import format_table
+
+
+def _rows():
+    rows = []
+    for routing in routings_under_test():
+        result = pairwise_run("CosmoFlow", "Halo3D", routing)
+        summary = result.target_summary
+        interfered = result.interfered
+        _, cosmo_series = interfered.stats.app_throughput_series(
+            interfered.jobs["CosmoFlow"].job_id
+        )
+        _, halo_series = interfered.stats.app_throughput_series(interfered.jobs["Halo3D"].job_id)
+        rows.append(
+            {
+                "routing": routing,
+                "cosmoflow_slowdown": summary.slowdown,
+                "cosmoflow_peak_gb_ms": float(cosmo_series.max()) if cosmo_series.size else 0.0,
+                "halo3d_mean_gb_ms": float(halo_series.mean()) if halo_series.size else 0.0,
+                "cosmoflow_mean_gb_ms": float(cosmo_series.mean()) if cosmo_series.size else 0.0,
+            }
+        )
+    return rows
+
+
+def test_fig09_cosmoflow_halo3d_throughput(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print("\nFig. 9 — CosmoFlow/Halo3D throughput (GB/ms, bench scale)\n" + format_table(rows))
+    for row in rows:
+        # CosmoFlow communicates in short bursts: its peak throughput exceeds
+        # its average by a wide margin (the pulse shape of Fig. 9).
+        assert row["cosmoflow_peak_gb_ms"] > 2 * row["cosmoflow_mean_gb_ms"]
+        # Compute masking: even under the most aggressive background the
+        # communication-time increase stays moderate (paper: <= 22 % under
+        # adaptive routing, ~5 % under Q-adaptive).
+        assert row["cosmoflow_slowdown"] <= 1.6
+        assert row["halo3d_mean_gb_ms"] > 0

@@ -1,0 +1,42 @@
+"""Table I — application communication intensity.
+
+Regenerates the per-application rows of Table I (total message volume,
+execution time, message injection rate, peak ingress volume) from standalone
+runs and checks the orderings the paper's analysis relies on.
+"""
+
+from conftest import BENCH_SCALE, standalone_run
+
+from repro.analysis.reports import intensity_report
+from repro.metrics.intensity import injection_rate_gbps, intensity_table
+from repro.workloads import APPLICATIONS
+
+
+def _build_table():
+    applications, records = {}, {}
+    for name in APPLICATIONS:
+        result = standalone_run(name, "par")
+        applications[name] = result.application(name)
+        records[name] = result.record(name)
+    return intensity_table(applications.values(), records), applications, records
+
+
+def test_table1_intensity(benchmark):
+    rows, applications, records = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    print("\n" + intensity_report(rows))
+
+    rates = {name: injection_rate_gbps(record) for name, record in records.items()}
+    peaks = {name: app.peak_ingress_bytes() for name, app in applications.items()}
+
+    # Paper, Table I: Halo3D has by far the highest injection rate and
+    # CosmoFlow the lowest; UR/LU/FFT3D have tiny peak ingress volumes while
+    # Stencil5D's is the largest, followed by LQCD, then DL ~ CosmoFlow.
+    assert max(rates, key=rates.get) == "Halo3D"
+    assert min(rates, key=rates.get) == "CosmoFlow"
+    assert rates["LULESH"] > rates["LU"]
+    assert rates["Halo3D"] > 2 * rates["LQCD"]
+
+    assert max(peaks, key=peaks.get) == "Stencil5D"
+    assert min(peaks, key=peaks.get) == "UR"
+    assert peaks["LQCD"] > peaks["DL"] > peaks["CosmoFlow"] > peaks["LULESH"] > peaks["Halo3D"]
+    assert peaks["FFT3D"] > peaks["LU"] > peaks["UR"]

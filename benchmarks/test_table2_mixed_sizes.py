@@ -1,0 +1,43 @@
+"""Table II — mixed-workload job sizes.
+
+Checks that the benchmark-scale mixed workload allocates nodes to the six
+applications in the same proportions as the paper's Table II, and prints both
+the paper's sizes and the scaled sizes used by the Figs 10-13 benchmarks.
+"""
+
+from conftest import BENCH_SCALE
+
+from repro.analysis.reports import format_table
+from repro.experiments.configs import PAPER_TABLE2_JOB_SIZES, mixed_workload_specs
+
+
+def _build_rows():
+    specs = mixed_workload_specs(total_nodes=70, scale=BENCH_SCALE)
+    rows = []
+    for spec in specs:
+        paper_size = PAPER_TABLE2_JOB_SIZES[spec.name]
+        rows.append(
+            {
+                "app": spec.name,
+                "paper_nodes": paper_size,
+                "paper_fraction": paper_size / 1056.0,
+                "bench_nodes": spec.num_ranks,
+                "bench_fraction": spec.num_ranks / 70.0,
+            }
+        )
+    return rows
+
+
+def test_table2_mixed_workload_sizes(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    print("\nTable II — mixed workload job sizes (paper vs bench)\n" + format_table(rows))
+
+    by_app = {row["app"]: row for row in rows}
+    assert set(by_app) == set(PAPER_TABLE2_JOB_SIZES)
+    # The proportions must follow the paper: LQCD and Stencil5D are the two
+    # largest jobs; the other four are roughly equal.
+    assert by_app["LQCD"]["bench_nodes"] == max(r["bench_nodes"] for r in rows)
+    assert by_app["Stencil5D"]["bench_nodes"] >= by_app["FFT3D"]["bench_nodes"]
+    for row in rows:
+        assert abs(row["bench_fraction"] - row["paper_fraction"]) < 0.08
+    assert sum(r["bench_nodes"] for r in rows) <= 70

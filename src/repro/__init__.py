@@ -1,0 +1,30 @@
+"""repro — Dragonfly workload-interference simulator.
+
+Reproduction of "Study of Workload Interference with Intelligent Routing on
+Dragonfly" (Kang, Wang, Lan — SC 2022): a flit-accurate Dragonfly network
+simulator with adaptive (UGALg/UGALn/PAR) and intelligent (Q-adaptive)
+routing, an MPI layer, nine representative HPC/ML workloads, and the
+analysis/benchmark harness that regenerates every table and figure of the
+paper's evaluation.
+"""
+
+from repro.config import (
+    RoutingConfig,
+    SimulationConfig,
+    SystemConfig,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RoutingConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "__version__",
+    "paper_system",
+    "small_system",
+    "tiny_system",
+]

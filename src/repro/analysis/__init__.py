@@ -1,0 +1,20 @@
+"""Interference analysis: the pairwise and mixed-workload studies.
+
+These modules orchestrate the experiment runner and the metrics package into
+the two studies of the paper's evaluation (Sections V and VI) and provide
+plain-text report generation for the regenerated tables and figures.
+"""
+
+from repro.analysis.pairwise import PairwiseResult, pairwise_study
+from repro.analysis.mixed import MixedResult, mixed_study
+from repro.analysis.reports import format_table, intensity_report, interference_report
+
+__all__ = [
+    "MixedResult",
+    "PairwiseResult",
+    "format_table",
+    "intensity_report",
+    "interference_report",
+    "mixed_study",
+    "pairwise_study",
+]

@@ -1,0 +1,86 @@
+"""Mixed-workload analysis (Section VI).
+
+Six applications with distinct communication patterns co-run on the system
+(job sizes proportional to Table II).  Per-application interference is
+measured against per-application standalone baselines (Fig. 10), and
+system-wide behaviour is captured through stall-time maps (Fig. 11), the
+congestion-index matrix (Fig. 12) and the system packet-latency distribution
+and aggregate throughput (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.experiments.configs import AppSpec, mixed_workload_specs
+from repro.experiments.runner import RunResult, run_workloads
+from repro.metrics.congestion import congestion_index_matrix, stall_time_by_group
+from repro.metrics.interference import InterferenceSummary, interference_summary
+from repro.metrics.latency import LatencySummary, latency_summary
+
+__all__ = ["MixedResult", "mixed_study"]
+
+
+@dataclass
+class MixedResult:
+    """Outcome of one mixed-workload run plus its standalone baselines."""
+
+    routing: str
+    mixed: RunResult
+    standalone: Dict[str, RunResult]
+
+    def app_summary(self, name: str) -> InterferenceSummary:
+        """Interference summary of one application in the mix."""
+        return interference_summary(self.standalone[name].record(name), self.mixed.record(name))
+
+    def all_summaries(self) -> List[InterferenceSummary]:
+        """Interference summaries of every application in the mix."""
+        return [self.app_summary(name) for name in self.mixed.jobs]
+
+    def mean_interference(self) -> float:
+        """Mean relative communication-time increase over all applications."""
+        increases = [s.comm_time_increase for s in self.all_summaries()]
+        return float(np.mean(increases)) if increases else 0.0
+
+    def system_latency(self) -> LatencySummary:
+        """System-wide packet-latency distribution of the mixed run (Fig. 13a)."""
+        return latency_summary(self.mixed.stats)
+
+    def system_throughput(self):
+        """(times, GB/ms) aggregate delivered-byte series (Fig. 13b)."""
+        return self.mixed.stats.system_throughput_series()
+
+    def mean_system_throughput(self) -> float:
+        """Time-averaged aggregate throughput in GB/ms."""
+        _, rates = self.system_throughput()
+        return float(rates.mean()) if rates.size else 0.0
+
+    def stall_map(self) -> dict:
+        """Per-group stall-time aggregation of the mixed run (Fig. 11)."""
+        return stall_time_by_group(self.mixed.network)
+
+    def congestion_matrix(self) -> np.ndarray:
+        """Group-by-group congestion-index matrix of the mixed run (Fig. 12)."""
+        return congestion_index_matrix(self.mixed.network)
+
+
+def mixed_study(
+    config: SimulationConfig,
+    specs: Optional[Sequence[AppSpec]] = None,
+    placement: str = "random",
+    standalone: Optional[Dict[str, RunResult]] = None,
+) -> MixedResult:
+    """Run the mixed workload and (optionally reuse) standalone baselines."""
+    specs = list(specs) if specs is not None else mixed_workload_specs()
+    mixed_result = run_workloads(config, specs, placement=placement)
+    baselines: Dict[str, RunResult] = dict(standalone or {})
+    for spec in specs:
+        if spec.name not in baselines:
+            baselines[spec.name] = run_workloads(config, [spec], placement=placement)
+    return MixedResult(
+        routing=config.routing.algorithm, mixed=mixed_result, standalone=baselines
+    )

@@ -1,0 +1,69 @@
+"""Plain-text report generation for the regenerated tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.metrics.interference import InterferenceSummary
+
+__all__ = ["format_table", "intensity_report", "interference_report"]
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_format_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def intensity_report(rows: Iterable[dict]) -> str:
+    """Render the Table I rows (application communication intensity)."""
+    columns = [
+        "pattern",
+        "app",
+        "total_msg_bytes",
+        "execution_time_ns",
+        "injection_rate_gbps",
+        "peak_ingress_bytes",
+    ]
+    ordered = sorted(rows, key=lambda r: r.get("app", ""))
+    return "Table I — application communication intensity\n" + format_table(ordered, columns)
+
+
+def interference_report(
+    summaries: Dict[str, InterferenceSummary], title: str = "Interference summary"
+) -> str:
+    """Render per-routing interference summaries (Figs 4, 8, 10 style rows)."""
+    rows = []
+    for routing, summary in summaries.items():
+        row = {"routing": routing}
+        row.update(summary.as_dict())
+        rows.append(row)
+    columns = [
+        "routing",
+        "app",
+        "standalone_comm_ns",
+        "interfered_comm_ns",
+        "slowdown",
+        "variation",
+    ]
+    return f"{title}\n" + format_table(rows, columns)

@@ -1,0 +1,120 @@
+"""Command-line interface: ``dragonfly-sim``.
+
+Three subcommands cover the study's workflows:
+
+* ``table1``   — run every application standalone and print the Table I rows;
+* ``pairwise`` — co-run a target and a background application under one or
+  more routing algorithms and print the interference summary (Fig. 4 rows);
+* ``mixed``    — run the Table II mixed workload and print per-application
+  interference plus the system-wide congestion metrics (Figs 10-13).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.mixed import mixed_study
+from repro.analysis.pairwise import pairwise_study
+from repro.analysis.reports import format_table, intensity_report
+from repro.experiments.configs import ROUTINGS, bench_config, table1_specs
+from repro.experiments.runner import run_standalone
+from repro.metrics.intensity import intensity_table
+from repro.workloads import APPLICATIONS
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="dragonfly-sim",
+        description="Dragonfly workload-interference simulator (SC22 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="message-volume scale factor (default 1.0)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate the Table I intensity metrics")
+    table1.add_argument("--routing", default="par", help="routing algorithm to use")
+
+    pairwise = sub.add_parser("pairwise", help="pairwise interference study (Fig. 4)")
+    pairwise.add_argument("target", choices=sorted(APPLICATIONS), help="target application")
+    pairwise.add_argument(
+        "background", choices=sorted(APPLICATIONS), help="background application"
+    )
+    pairwise.add_argument(
+        "--routings", nargs="+", default=list(ROUTINGS), help="routing algorithms to compare"
+    )
+
+    mixed = sub.add_parser("mixed", help="mixed-workload study (Figs 10-13)")
+    mixed.add_argument(
+        "--routings", nargs="+", default=["par", "q-adaptive"], help="routing algorithms"
+    )
+    return parser
+
+
+def _run_table1(args) -> int:
+    specs = table1_specs(scale=args.scale)
+    applications = {}
+    records = {}
+    for spec in specs:
+        result = run_standalone(bench_config(args.routing, seed=args.seed), spec)
+        applications[spec.name] = result.application(spec.name)
+        records[spec.name] = result.record(spec.name)
+    rows = intensity_table(applications.values(), records)
+    print(intensity_report(rows))
+    return 0
+
+
+def _run_pairwise(args) -> int:
+    rows = []
+    for routing in args.routings:
+        config = bench_config(routing, seed=args.seed)
+        result = pairwise_study(config, args.target, args.background, scale=args.scale)
+        rows.append(result.as_dict())
+    print(
+        format_table(
+            rows,
+            ["routing", "target", "background", "standalone_comm_ns", "interfered_comm_ns", "slowdown", "variation"],
+        )
+    )
+    return 0
+
+
+def _run_mixed(args) -> int:
+    rows = []
+    for routing in args.routings:
+        config = bench_config(routing, seed=args.seed)
+        result = mixed_study(config)
+        latency = result.system_latency()
+        rows.append(
+            {
+                "routing": routing,
+                "mean_interference": result.mean_interference(),
+                "mean_latency_ns": latency.mean,
+                "p99_latency_ns": latency.p99,
+                "throughput_gb_per_ms": result.mean_system_throughput(),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _run_table1(args)
+    if args.command == "pairwise":
+        return _run_pairwise(args)
+    if args.command == "mixed":
+        return _run_mixed(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

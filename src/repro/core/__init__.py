@@ -1,0 +1,20 @@
+"""Core discrete-event simulation machinery.
+
+This subpackage provides the deterministic event engine used by every other
+layer of the simulator (network, MPI, workloads).  It is intentionally free of
+any networking concepts so it can be unit-tested in isolation and reused for
+other event-driven substrates.
+"""
+
+from repro.core.engine import EventHandle, Simulator
+from repro.core.events import Event, EventKind
+from repro.core.rng import RngRegistry, component_seed
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventKind",
+    "RngRegistry",
+    "Simulator",
+    "component_seed",
+]

@@ -1,0 +1,188 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar built on :mod:`heapq`.  Time is measured in
+nanoseconds (floats).  Determinism guarantees:
+
+* events scheduled for the same time fire in the order they were scheduled;
+* all randomness lives in :mod:`repro.core.rng`, never in the engine.
+
+The engine is deliberately minimal: components schedule callbacks, the engine
+fires them.  There is no process abstraction — higher layers (the MPI engine,
+NICs, routers) implement their own state machines on top of callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.core.events import Event, EventKind
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding the handle allows the caller to cancel the event before it fires.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time in nanoseconds."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        When true, every fired event is appended to :attr:`trace_log` as a
+        ``(time, kind, callback_name)`` tuple.  Only intended for debugging
+        and small tests — tracing a large run is expensive.
+    """
+
+    def __init__(self, trace: bool = False):
+        self._heap: list[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._fired: int = 0
+        self._running = False
+        self._stopped = False
+        self.trace = trace
+        self.trace_log: list[tuple[float, EventKind, str]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events fired so far."""
+        return self._fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        kind: EventKind = EventKind.GENERIC,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` ns from now.
+
+        ``delay`` must be non-negative; zero-delay events fire after all
+        events already scheduled for the current timestamp.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, kind=kind)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        kind: EventKind = EventKind.GENERIC,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time=float(time), seq=self._seq, callback=callback, args=args, kind=kind)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # -------------------------------------------------------------- execution
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the calendar was
+        empty (cancelled events are skipped transparently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if self.trace:
+                name = getattr(event.callback, "__qualname__", repr(event.callback))
+                self.trace_log.append((event.time, event.kind, name))
+            event.fire()
+            self._fired += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the calendar drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulated time at which the run stopped.  ``until`` is an
+        absolute time; events scheduled exactly at ``until`` still fire.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired_this_run = 0
+        try:
+            while self._heap and not self._stopped:
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired_this_run >= max_events:
+                    break
+                if self.step():
+                    fired_this_run += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def drain(self) -> int:
+        """Discard all pending events.  Returns the number discarded."""
+        count = len(self._heap)
+        self._heap.clear()
+        return count
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.1f}ns, pending={len(self._heap)}, "
+            f"fired={self._fired})"
+        )

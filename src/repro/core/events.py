@@ -1,0 +1,71 @@
+"""Event records used by the discrete-event engine.
+
+Events are lightweight records tying a firing time to a callback.  The
+:class:`EventKind` enumeration is used purely for observability (tracing and
+debugging); the engine itself treats all events identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventKind(enum.IntEnum):
+    """Coarse category of a scheduled event, used for tracing only."""
+
+    GENERIC = 0
+    #: A packet finished serializing onto a link.
+    LINK_SERIALIZED = 1
+    #: A packet arrived at the downstream end of a link.
+    LINK_DELIVERY = 2
+    #: A credit was returned to the upstream end of a link.
+    CREDIT_RETURN = 3
+    #: A NIC attempts to inject the next packet of a message.
+    NIC_INJECT = 4
+    #: An application rank resumes after a compute phase.
+    COMPUTE_DONE = 5
+    #: MPI engine progress (matching, protocol handshakes).
+    MPI_PROGRESS = 6
+    #: Q-adaptive feedback propagated back to the sending router.
+    ROUTING_FEEDBACK = 7
+    #: Statistics sampling tick.
+    STATS_SAMPLE = 8
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Simulated firing time in nanoseconds.
+    seq:
+        Monotonic tie-breaker so events scheduled at the same time fire in
+        FIFO order (required for determinism).
+    callback:
+        Callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    kind:
+        Category used by tracing.
+    cancelled:
+        Lazily-cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: tuple[Any, ...] = field(default_factory=tuple)
+    kind: EventKind = EventKind.GENERIC
+    cancelled: bool = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)

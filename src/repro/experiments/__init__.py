@@ -1,0 +1,35 @@
+"""Experiment harness: configurations and run drivers.
+
+:mod:`repro.experiments.configs` defines the paper-scale and benchmark-scale
+system/application configurations (including the Table II mixed workload);
+:mod:`repro.experiments.runner` builds a full simulator stack from an
+application list and runs it to completion.
+"""
+
+from repro.experiments.configs import (
+    AppSpec,
+    BENCH_RANKS,
+    PAPER_TABLE2_JOB_SIZES,
+    ROUTINGS,
+    bench_config,
+    bench_spec,
+    mixed_workload_specs,
+    pairwise_specs,
+    table1_specs,
+)
+from repro.experiments.runner import RunResult, run_standalone, run_workloads
+
+__all__ = [
+    "AppSpec",
+    "BENCH_RANKS",
+    "PAPER_TABLE2_JOB_SIZES",
+    "ROUTINGS",
+    "RunResult",
+    "bench_config",
+    "bench_spec",
+    "mixed_workload_specs",
+    "pairwise_specs",
+    "run_standalone",
+    "run_workloads",
+    "table1_specs",
+]

@@ -1,0 +1,93 @@
+"""Network-level congestion metrics: stall-time maps and the congestion index.
+
+* :func:`stall_time_by_group` aggregates per-port stall time into per-group
+  local-link totals and per-group-pair global-link totals (Fig. 11);
+* :func:`congestion_index_matrix` computes the group-by-group congestion
+  index: average link throughput divided by link capacity, with intra-group
+  (local-link) congestion on the diagonal (Fig. 12, adapted from the traffic
+  "congestion index" of He et al.).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.network.link import LinkKind
+from repro.network.network import DragonflyNetwork
+
+__all__ = ["congestion_index_matrix", "stall_time_by_group"]
+
+
+def stall_time_by_group(network: DragonflyNetwork) -> dict:
+    """Aggregate port stall time per group (local) and per group pair (global).
+
+    Returns a dict with:
+
+    * ``local`` — {group: total stall ns on local-link ports in that group};
+    * ``global`` — {(src_group, dst_group): stall ns on the global port};
+    * ``local_mean`` / ``global_mean`` — averages used in the paper's text.
+    """
+    topo = network.topology
+    stalls = network.stats.port_stall
+    local: Dict[int, float] = defaultdict(float)
+    global_: Dict[Tuple[int, int], float] = defaultdict(float)
+    for (router, port), value in stalls.by_port().items():
+        kind = topo.port_kind(port)
+        group = topo.group_of_router(router)
+        if kind.name == "LOCAL":
+            local[group] += value
+        elif kind.name == "GLOBAL":
+            dst_group = topo.group_reached_by_global_port(router, port)
+            global_[(group, dst_group)] += value
+    local_values = np.array(list(local.values())) if local else np.zeros(1)
+    global_values = np.array(list(global_.values())) if global_ else np.zeros(1)
+    return {
+        "local": dict(local),
+        "global": dict(global_),
+        "local_mean": float(local_values.mean()),
+        "global_mean": float(global_values.mean()),
+        "local_max_group": max(local, key=local.get) if local else None,
+    }
+
+
+def congestion_index_matrix(network: DragonflyNetwork, elapsed_ns: float | None = None) -> np.ndarray:
+    """Group-by-group congestion-index heat map.
+
+    Entry ``[i, j]`` (i != j) is the average utilization of the global link
+    from group ``i`` to group ``j``; entry ``[i, i]`` is the mean utilization
+    of group ``i``'s local links.  Utilization is carried bytes divided by
+    ``capacity = bandwidth × elapsed``; values land in [0, 1].
+    """
+    topo = network.topology
+    if elapsed_ns is None:
+        elapsed_ns = network.sim.now
+    if elapsed_ns <= 0:
+        return np.zeros((topo.num_groups, topo.num_groups))
+    capacity = network.config.system.link_bandwidth_bytes_per_ns * elapsed_ns
+    traffic = network.stats.link_traffic
+
+    matrix = np.zeros((topo.num_groups, topo.num_groups))
+    local_sums = np.zeros(topo.num_groups)
+    local_counts = np.zeros(topo.num_groups)
+
+    for key, num_bytes in traffic.by_link().items():
+        entity, router, port = key
+        if entity != "R":
+            continue  # NIC injection links are not part of the fabric map.
+        kind = topo.port_kind(port)
+        group = topo.group_of_router(router)
+        utilization = min(1.0, num_bytes / capacity)
+        if kind.name == "GLOBAL":
+            dst_group = topo.group_reached_by_global_port(router, port)
+            matrix[group, dst_group] = utilization
+        elif kind.name == "LOCAL":
+            local_sums[group] += utilization
+            local_counts[group] += 1
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        diagonal = np.where(local_counts > 0, local_sums / np.maximum(local_counts, 1), 0.0)
+    np.fill_diagonal(matrix, diagonal)
+    return matrix

@@ -1,0 +1,65 @@
+"""Packet-latency distribution summaries (Figs 6, 7, 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.stats.collector import StatsCollector
+
+__all__ = ["LatencySummary", "latency_summary"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of packet latencies in nanoseconds."""
+
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @property
+    def tail_dispersion(self) -> float:
+        """p99 / median — how far the tail stretches beyond the typical packet."""
+        if self.median <= 0:
+            return 0.0
+        return self.p99 / self.median
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "count": self.count,
+            "mean_ns": self.mean,
+            "median_ns": self.median,
+            "p25_ns": self.p25,
+            "p75_ns": self.p75,
+            "p95_ns": self.p95,
+            "p99_ns": self.p99,
+            "max_ns": self.maximum,
+            "tail_dispersion": self.tail_dispersion,
+        }
+
+
+def latency_summary(stats: StatsCollector, app_id: Optional[int] = None) -> LatencySummary:
+    """Summarize packet latencies recorded by ``stats`` (optionally one app)."""
+    latencies = stats.packet_latencies(app_id)
+    if latencies.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p25, median, p75, p95, p99 = np.percentile(latencies, [25, 50, 75, 95, 99])
+    return LatencySummary(
+        count=int(latencies.size),
+        mean=float(latencies.mean()),
+        median=float(median),
+        p25=float(p25),
+        p75=float(p75),
+        p95=float(p95),
+        p99=float(p99),
+        maximum=float(latencies.max()),
+    )

@@ -1,0 +1,27 @@
+"""MPI layer (the equivalent of SST/Firefly).
+
+The MPI engine sits between the workloads (which yield MPI operations from
+per-rank generator programs) and the network (which carries messages as
+packets).  It implements:
+
+* point-to-point sends/receives with tag/source matching, eager and
+  rendezvous protocols;
+* non-blocking operations and wait sets;
+* collectives built from point-to-point operations the same way SST/Firefly
+  does: ring all-to-all, binary-tree allreduce/reduce/broadcast,
+  dissemination-style barrier and ring allgather.
+"""
+
+from repro.mpi.message import ANY_SOURCE, ANY_TAG, MpiRequest, RecvRequest, SendRequest
+from repro.mpi.engine import MpiEngine, MpiJob, RankContext
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiEngine",
+    "MpiJob",
+    "MpiRequest",
+    "RankContext",
+    "RecvRequest",
+    "SendRequest",
+]

@@ -1,0 +1,446 @@
+"""MPI engine: drives per-rank generator programs over the Dragonfly network.
+
+Workloads are written as *rank programs*: Python generators that yield MPI
+operations.  Exactly two kinds of operations are yielded —
+
+* ``ctx.compute(duration_ns)`` — the rank computes for a fixed time;
+* ``ctx.waitall([...])`` / ``ctx.wait(req)`` — the rank blocks until the
+  listed non-blocking requests complete.
+
+Everything else (``isend``, ``irecv``, collectives) is a side-effecting call
+on the :class:`RankContext` that returns request handles, so communication
+and computation overlap exactly as they would under a real MPI library.
+
+Protocols follow the eager/rendezvous split described in the paper's Firefly
+layer: messages at or below ``SimulationConfig.eager_threshold_bytes`` are
+pushed immediately (eager); larger messages perform an RTS/CTS handshake and
+only then move the payload (rendezvous).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.events import EventKind
+from repro.network.network import DragonflyNetwork
+from repro.network.packet import Message, MessageKind
+from repro.mpi import collectives as _collectives
+from repro.mpi.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    MailBox,
+    MpiRequest,
+    RecvRequest,
+    SendRequest,
+)
+from repro.stats.appstats import ApplicationRecord, IterationRecord
+
+__all__ = ["ComputeOp", "MpiEngine", "MpiJob", "RankContext", "WaitOp"]
+
+#: Size (bytes) of RTS/CTS control messages on the wire.
+CONTROL_MESSAGE_BYTES = 64
+
+_xid_counter = itertools.count(1)
+
+
+class ComputeOp:
+    """Yielded by a rank program to model computation of a fixed duration."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError("compute duration cannot be negative")
+        self.duration = float(duration)
+
+
+class WaitOp:
+    """Yielded by a rank program to block until every request completes."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: Sequence[MpiRequest]):
+        self.requests = list(requests)
+
+
+class MpiJob:
+    """One application instance: a set of ranks mapped onto nodes."""
+
+    def __init__(self, job_id: int, name: str, nodes: Sequence[int], application=None):
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("a job cannot place two ranks on the same node")
+        self.job_id = job_id
+        self.name = name
+        self.nodes: List[int] = list(nodes)
+        self.application = application
+        self.record = ApplicationRecord(app_id=job_id, name=name, num_ranks=len(nodes))
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of MPI ranks in this job."""
+        return len(self.nodes)
+
+    def node_of(self, rank: int) -> int:
+        """Compute node hosting ``rank``."""
+        return self.nodes[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MpiJob(id={self.job_id}, name={self.name!r}, ranks={self.num_ranks})"
+
+
+class RankContext:
+    """Per-rank API handed to workload programs."""
+
+    def __init__(self, engine: "MpiEngine", job: MpiJob, rank: int):
+        self.engine = engine
+        self.job = job
+        self.rank = rank
+        self.node = job.node_of(rank)
+        self._collective_seq = 0
+        self._iteration_stack: List[IterationRecord] = []
+
+    # ----------------------------------------------------------- properties
+    @property
+    def job_size(self) -> int:
+        """Number of ranks in this rank's job."""
+        return self.job.num_ranks
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in ns."""
+        return self.engine.sim.now
+
+    # ----------------------------------------------------------- operations
+    def compute(self, duration_ns: float) -> ComputeOp:
+        """Model ``duration_ns`` of local computation."""
+        return ComputeOp(duration_ns)
+
+    def wait(self, request: MpiRequest) -> WaitOp:
+        """Block until ``request`` completes."""
+        return WaitOp([request])
+
+    def waitall(self, requests: Sequence[MpiRequest]) -> WaitOp:
+        """Block until every request in ``requests`` completes."""
+        return WaitOp(requests)
+
+    def isend(self, dst_rank: int, size_bytes: int, tag: int = 0) -> SendRequest:
+        """Start a non-blocking send of ``size_bytes`` to ``dst_rank``."""
+        return self.engine.isend(self.job, self.rank, dst_rank, size_bytes, tag)
+
+    def irecv(self, src_rank: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Post a non-blocking receive from ``src_rank`` (wildcards allowed)."""
+        return self.engine.irecv(self.job, self.rank, src_rank, tag)
+
+    def send(self, dst_rank: int, size_bytes: int, tag: int = 0) -> WaitOp:
+        """Blocking send (isend + wait), to be yielded by the program."""
+        return WaitOp([self.isend(dst_rank, size_bytes, tag)])
+
+    def recv(self, src_rank: int = ANY_SOURCE, tag: int = ANY_TAG) -> WaitOp:
+        """Blocking receive (irecv + wait), to be yielded by the program."""
+        return WaitOp([self.irecv(src_rank, tag)])
+
+    def sendrecv(self, dst_rank: int, src_rank: int, size_bytes: int, tag: int = 0) -> WaitOp:
+        """Simultaneous blocking send and receive (common stencil idiom)."""
+        return WaitOp([self.isend(dst_rank, size_bytes, tag), self.irecv(src_rank, tag)])
+
+    # ----------------------------------------------------------- collectives
+    def next_collective_tag(self) -> int:
+        """Reserve a unique (negative) tag block for one collective round."""
+        self._collective_seq += 1
+        return -(self._collective_seq * 4096)
+
+    def alltoall(self, size_per_pair: int, group: Optional[Sequence[int]] = None):
+        """Ring all-to-all (``yield from`` this inside a program)."""
+        return _collectives.ring_alltoall(self, size_per_pair, group=group)
+
+    def allreduce(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+        """Binary-tree allreduce (``yield from`` this inside a program)."""
+        return _collectives.tree_allreduce(self, size_bytes, group=group)
+
+    def reduce(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+        """Binary-tree reduce towards the group's first rank."""
+        return _collectives.tree_reduce(self, size_bytes, group=group)
+
+    def broadcast(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+        """Binary-tree broadcast from the group's first rank."""
+        return _collectives.tree_broadcast(self, size_bytes, group=group)
+
+    def allgather(self, size_per_rank: int, group: Optional[Sequence[int]] = None):
+        """Ring allgather."""
+        return _collectives.ring_allgather(self, size_per_rank, group=group)
+
+    def barrier(self, group: Optional[Sequence[int]] = None):
+        """Group barrier."""
+        return _collectives.barrier(self, group=group)
+
+    # ------------------------------------------------------------ telemetry
+    def begin_iteration(self, iteration: int) -> None:
+        """Timestamp the start of one application iteration."""
+        record = IterationRecord(rank=self.rank, iteration=iteration, start_time=self.now)
+        self._iteration_stack.append(record)
+        self.job.record.iterations.append(record)
+
+    def end_iteration(self) -> None:
+        """Timestamp the end of the innermost open iteration."""
+        if not self._iteration_stack:
+            raise RuntimeError("end_iteration() called without begin_iteration()")
+        record = self._iteration_stack.pop()
+        record.end_time = self.now
+
+
+class _RankState:
+    """Execution state of one rank's generator program."""
+
+    __slots__ = ("job", "rank", "context", "generator", "block_start", "pending", "finished")
+
+    def __init__(self, job: MpiJob, rank: int, context: RankContext, generator):
+        self.job = job
+        self.rank = rank
+        self.context = context
+        self.generator = generator
+        self.block_start: Optional[float] = None
+        self.pending: int = 0
+        self.finished = False
+
+
+class MpiEngine:
+    """Drives every job's rank programs over one Dragonfly network."""
+
+    def __init__(self, network: DragonflyNetwork):
+        self.network = network
+        self.sim = network.sim
+        self.config = network.config
+        self.jobs: List[MpiJob] = []
+        self._ranks: Dict[tuple, _RankState] = {}
+        self._mailboxes: Dict[tuple, MailBox] = {}
+        self._node_to_rank: Dict[tuple, int] = {}
+        self._pending_sends: Dict[tuple, dict] = {}
+        self._pending_recv_xid: Dict[tuple, RecvRequest] = {}
+        network.on_message_delivered = self._on_message_delivered
+
+    # ------------------------------------------------------------ job setup
+    def add_job(self, name: str, nodes: Sequence[int], application=None) -> MpiJob:
+        """Register a job occupying ``nodes`` (rank i runs on nodes[i])."""
+        for node in nodes:
+            if not 0 <= node < self.network.num_nodes:
+                raise ValueError(f"node {node} does not exist in this system")
+            key = ("node", node)
+            if key in self._node_to_rank:
+                raise ValueError(f"node {node} is already occupied by another job")
+        job = MpiJob(len(self.jobs), name, nodes, application=application)
+        self.jobs.append(job)
+        for rank, node in enumerate(nodes):
+            self._node_to_rank[("node", node)] = rank
+            self._mailboxes[(job.job_id, rank)] = MailBox()
+        self.network.stats.register_application(job.record)
+        return job
+
+    def start(self) -> None:
+        """Instantiate and start every rank program of every job at time 0."""
+        for job in self.jobs:
+            if job.application is None:
+                raise RuntimeError(f"job {job.name} has no application attached")
+            for rank in range(job.num_ranks):
+                context = RankContext(self, job, rank)
+                generator = job.application.program(context)
+                state = _RankState(job, rank, context, generator)
+                self._ranks[(job.job_id, rank)] = state
+                job.record.start_time[rank] = self.sim.now
+                self._advance(state, None)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Start all jobs (if not started) and run the simulation."""
+        if not self._ranks:
+            self.start()
+        end = self.sim.run(until=until, max_events=max_events)
+        return end
+
+    @property
+    def all_finished(self) -> bool:
+        """Whether every rank of every job has completed its program."""
+        return bool(self._ranks) and all(state.finished for state in self._ranks.values())
+
+    # -------------------------------------------------------- program driver
+    def _advance(self, state: _RankState, value) -> None:
+        """Resume a rank program until it blocks, computes or finishes."""
+        while True:
+            try:
+                operation = state.generator.send(value)
+            except StopIteration:
+                state.finished = True
+                state.job.record.finish_time[state.rank] = self.sim.now
+                return
+            value = None
+            if isinstance(operation, ComputeOp):
+                if operation.duration <= 0:
+                    continue
+                state.job.record.add_compute_time(state.rank, operation.duration)
+                self.sim.schedule(
+                    operation.duration, self._advance, state, None, kind=EventKind.COMPUTE_DONE
+                )
+                return
+            if isinstance(operation, WaitOp):
+                incomplete = [r for r in operation.requests if not r.completed]
+                if not incomplete:
+                    continue
+                state.pending = len(incomplete)
+                state.block_start = self.sim.now
+                for request in incomplete:
+                    request.on_complete(lambda _req, s=state: self._request_done(s))
+                return
+            raise TypeError(
+                f"rank program yielded {operation!r}; expected a ComputeOp or WaitOp"
+            )
+
+    def _request_done(self, state: _RankState) -> None:
+        state.pending -= 1
+        if state.pending > 0:
+            return
+        if state.block_start is not None:
+            state.job.record.add_comm_time(state.rank, self.sim.now - state.block_start)
+            state.block_start = None
+        self._advance(state, None)
+
+    # ------------------------------------------------------------ primitives
+    def isend(
+        self, job: MpiJob, src_rank: int, dst_rank: int, size_bytes: int, tag: int
+    ) -> SendRequest:
+        """Start a non-blocking send; protocol chosen by message size."""
+        if not 0 <= dst_rank < job.num_ranks:
+            raise ValueError(f"destination rank {dst_rank} outside job {job.name}")
+        size_bytes = max(1, int(size_bytes))
+        request = SendRequest(src_rank, dst_rank, tag, size_bytes)
+        job.record.record_send(src_rank, size_bytes)
+        xid = next(_xid_counter)
+        envelope = Envelope(src_rank, dst_rank, tag, size_bytes, xid)
+
+        if dst_rank == src_rank:
+            # Loopback: no network involvement, a small software overhead only.
+            self.sim.schedule(self.config.message_overhead_ns, request.complete, self.sim.now)
+            self.sim.schedule(
+                self.config.message_overhead_ns, self._arrive_eager, job, envelope
+            )
+            return request
+
+        src_node, dst_node = job.node_of(src_rank), job.node_of(dst_rank)
+        if size_bytes <= self.config.eager_threshold_bytes:
+            message = Message(
+                src_node,
+                dst_node,
+                size_bytes,
+                app_id=job.job_id,
+                tag=tag,
+                kind=MessageKind.DATA,
+                create_time=self.sim.now,
+                payload={"type": "eager", "envelope": envelope},
+            )
+            self.network.send_message(message)
+            # Eager sends complete locally once the NIC has buffered the data.
+            self.sim.schedule(self.config.message_overhead_ns, request.complete, self.sim.now)
+        else:
+            self._pending_sends[(job.job_id, xid)] = {
+                "request": request,
+                "envelope": envelope,
+                "src_node": src_node,
+                "dst_node": dst_node,
+            }
+            rts = Message(
+                src_node,
+                dst_node,
+                CONTROL_MESSAGE_BYTES,
+                app_id=job.job_id,
+                tag=tag,
+                kind=MessageKind.RTS,
+                create_time=self.sim.now,
+                payload={"type": "rts", "envelope": envelope},
+            )
+            self.network.send_message(rts)
+        return request
+
+    def irecv(self, job: MpiJob, rank: int, src_rank: int, tag: int) -> RecvRequest:
+        """Post a non-blocking receive and match it against early arrivals."""
+        request = RecvRequest(rank, src_rank, tag)
+        mailbox = self._mailboxes[(job.job_id, rank)]
+        matched = mailbox.post(request)
+        if matched is not None:
+            envelope, action = matched
+            request.matched_envelope = envelope
+            action(job, request, envelope)
+        return request
+
+    # --------------------------------------------------------- network side
+    def _on_message_delivered(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        job = self.jobs[message.app_id]
+        if kind == "eager":
+            self._arrive_eager(job, payload["envelope"])
+        elif kind == "rts":
+            self._arrive_rts(job, payload["envelope"])
+        elif kind == "cts":
+            self._arrive_cts(job, payload["xid"])
+        elif kind == "rdata":
+            self._arrive_rendezvous_data(job, payload["xid"])
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown MPI message type {kind!r}")
+
+    def _arrive_eager(self, job: MpiJob, envelope: Envelope) -> None:
+        mailbox = self._mailboxes[(job.job_id, envelope.dst_rank)]
+        request = mailbox.match_arrival(envelope)
+        if request is not None:
+            request.matched_envelope = envelope
+            request.complete(self.sim.now)
+        else:
+            mailbox.store_unexpected(envelope, self._complete_eager_recv)
+
+    def _complete_eager_recv(self, job: MpiJob, request: RecvRequest, envelope: Envelope) -> None:
+        request.complete(self.sim.now)
+
+    def _arrive_rts(self, job: MpiJob, envelope: Envelope) -> None:
+        mailbox = self._mailboxes[(job.job_id, envelope.dst_rank)]
+        request = mailbox.match_arrival(envelope)
+        if request is not None:
+            request.matched_envelope = envelope
+            self._send_cts(job, request, envelope)
+        else:
+            mailbox.store_unexpected(envelope, self._send_cts)
+
+    def _send_cts(self, job: MpiJob, request: RecvRequest, envelope: Envelope) -> None:
+        self._pending_recv_xid[(job.job_id, envelope.xid)] = request
+        cts = Message(
+            job.node_of(envelope.dst_rank),
+            job.node_of(envelope.src_rank),
+            CONTROL_MESSAGE_BYTES,
+            app_id=job.job_id,
+            tag=envelope.tag,
+            kind=MessageKind.CTS,
+            create_time=self.sim.now,
+            payload={"type": "cts", "xid": envelope.xid},
+        )
+        self.network.send_message(cts)
+
+    def _arrive_cts(self, job: MpiJob, xid: int) -> None:
+        pending = self._pending_sends.pop((job.job_id, xid), None)
+        if pending is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"CTS for unknown exchange {xid}")
+        envelope: Envelope = pending["envelope"]
+        data = Message(
+            pending["src_node"],
+            pending["dst_node"],
+            envelope.size_bytes,
+            app_id=job.job_id,
+            tag=envelope.tag,
+            kind=MessageKind.DATA,
+            create_time=self.sim.now,
+            payload={"type": "rdata", "xid": envelope.xid},
+        )
+        request: SendRequest = pending["request"]
+        self.network.send_message(data, on_delivery=lambda _msg: request.complete(self.sim.now))
+
+    def _arrive_rendezvous_data(self, job: MpiJob, xid: int) -> None:
+        request = self._pending_recv_xid.pop((job.job_id, xid), None)
+        if request is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"rendezvous data for unknown exchange {xid}")
+        request.complete(self.sim.now)

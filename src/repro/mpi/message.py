@@ -1,0 +1,147 @@
+"""MPI requests, envelopes and matching queues."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "MailBox",
+    "MpiRequest",
+    "RecvRequest",
+    "SendRequest",
+]
+
+#: Wildcard source rank for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+_request_ids = itertools.count()
+
+
+class Envelope:
+    """Matching envelope of a point-to-point message."""
+
+    __slots__ = ("src_rank", "dst_rank", "tag", "size_bytes", "xid")
+
+    def __init__(self, src_rank: int, dst_rank: int, tag: int, size_bytes: int, xid: int):
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.tag = tag
+        self.size_bytes = size_bytes
+        #: Unique exchange id tying RTS/CTS/DATA of one rendezvous together.
+        self.xid = xid
+
+    def matches(self, src_rank: int, tag: int) -> bool:
+        """Whether this envelope satisfies a receive posted for (src, tag)."""
+        src_ok = src_rank == ANY_SOURCE or src_rank == self.src_rank
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return src_ok and tag_ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(src={self.src_rank}, dst={self.dst_rank}, tag={self.tag}, "
+            f"size={self.size_bytes}, xid={self.xid})"
+        )
+
+
+class MpiRequest:
+    """Handle to an in-flight non-blocking operation."""
+
+    __slots__ = ("req_id", "rank", "completed", "completion_time", "_callbacks")
+
+    def __init__(self, rank: int):
+        self.req_id = next(_request_ids)
+        self.rank = rank
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self._callbacks: List[Callable[["MpiRequest"], None]] = []
+
+    def on_complete(self, callback: Callable[["MpiRequest"], None]) -> None:
+        """Register ``callback``; fired immediately if already complete."""
+        if self.completed:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def complete(self, time: float) -> None:
+        """Mark the request complete and fire callbacks (idempotent)."""
+        if self.completed:
+            return
+        self.completed = True
+        self.completion_time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.req_id}, rank={self.rank}, done={self.completed})"
+
+
+class SendRequest(MpiRequest):
+    """Request handle of an isend."""
+
+    __slots__ = ("dst_rank", "tag", "size_bytes")
+
+    def __init__(self, rank: int, dst_rank: int, tag: int, size_bytes: int):
+        super().__init__(rank)
+        self.dst_rank = dst_rank
+        self.tag = tag
+        self.size_bytes = size_bytes
+
+
+class RecvRequest(MpiRequest):
+    """Request handle of an irecv."""
+
+    __slots__ = ("src_rank", "tag", "matched_envelope")
+
+    def __init__(self, rank: int, src_rank: int, tag: int):
+        super().__init__(rank)
+        self.src_rank = src_rank
+        self.tag = tag
+        self.matched_envelope: Optional[Envelope] = None
+
+
+class MailBox:
+    """Per-rank matching state: posted receives and unexpected arrivals.
+
+    ``unexpected`` holds envelopes of messages (eager data or rendezvous RTS)
+    that arrived before a matching receive was posted, along with the
+    protocol action to run once they are matched.
+    """
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self):
+        self.posted: List[RecvRequest] = []
+        self.unexpected: List[tuple] = []  # (Envelope, action callable)
+
+    def post(self, request: RecvRequest) -> Optional[tuple]:
+        """Post a receive; returns an unexpected (envelope, action) if it matches."""
+        for index, (envelope, action) in enumerate(self.unexpected):
+            if envelope.matches(request.src_rank, request.tag):
+                del self.unexpected[index]
+                return envelope, action
+        self.posted.append(request)
+        return None
+
+    def match_arrival(self, envelope: Envelope) -> Optional[RecvRequest]:
+        """Match an arriving envelope against posted receives (FIFO order)."""
+        for index, request in enumerate(self.posted):
+            if envelope.matches(request.src_rank, request.tag):
+                del self.posted[index]
+                return request
+        return None
+
+    def store_unexpected(self, envelope: Envelope, action) -> None:
+        """Queue an arrival that found no posted receive."""
+        self.unexpected.append((envelope, action))
+
+    @property
+    def pending(self) -> int:
+        """Posted receives not yet matched (used by drain checks in tests)."""
+        return len(self.posted)

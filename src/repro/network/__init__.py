@@ -1,0 +1,23 @@
+"""Flit-accurate Dragonfly network model.
+
+This subpackage is the equivalent of SST/Merlin in the paper's stack: it
+models routers with per-VC input buffers and credit-based flow control, links
+with serialization and propagation delay, NICs with injection/ejection queues,
+and the Dragonfly topology connecting them.
+
+The public entry point is :class:`repro.network.network.DragonflyNetwork`,
+which assembles all of the above from a :class:`repro.config.SimulationConfig`.
+"""
+
+from repro.network.packet import Message, MessageKind, Packet
+from repro.network.topology import DragonflyTopology, PortKind
+from repro.network.network import DragonflyNetwork
+
+__all__ = [
+    "DragonflyNetwork",
+    "DragonflyTopology",
+    "Message",
+    "MessageKind",
+    "Packet",
+    "PortKind",
+]

@@ -1,0 +1,26 @@
+"""Job placement: mapping application ranks onto compute nodes.
+
+The paper uses *random placement* for every experiment (Section V); contiguous
+placement is provided as the classic interference-mitigation baseline used in
+the related-work discussion and exercised by the placement ablation benchmark.
+"""
+
+from repro.placement.base import Placement
+from repro.placement.random_placement import RandomPlacement
+from repro.placement.contiguous import ContiguousPlacement
+from repro.placement.allocator import NodeAllocator
+
+__all__ = ["ContiguousPlacement", "NodeAllocator", "Placement", "RandomPlacement", "create_placement"]
+
+_POLICIES = {
+    "random": RandomPlacement,
+    "contiguous": ContiguousPlacement,
+}
+
+
+def create_placement(name: str, **kwargs) -> Placement:
+    """Instantiate a placement policy by name (``"random"`` or ``"contiguous"``)."""
+    key = name.strip().lower()
+    if key not in _POLICIES:
+        raise ValueError(f"unknown placement policy {name!r}; choose from {sorted(_POLICIES)}")
+    return _POLICIES[key](**kwargs)

@@ -1,0 +1,61 @@
+"""Node allocator: tracks which nodes are free and hands them to placements."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.placement.base import Placement
+
+__all__ = ["NodeAllocator"]
+
+
+class NodeAllocator:
+    """Book-keeping of free/occupied nodes across multiple jobs."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError("the system needs at least one node")
+        self.num_nodes = num_nodes
+        self._free = set(range(num_nodes))
+        self._jobs: Dict[str, List[int]] = {}
+
+    @property
+    def free_nodes(self) -> List[int]:
+        """Sorted list of currently free nodes."""
+        return sorted(self._free)
+
+    @property
+    def allocated(self) -> Dict[str, List[int]]:
+        """Mapping of job name to its allocated nodes."""
+        return {name: list(nodes) for name, nodes in self._jobs.items()}
+
+    def allocate(
+        self,
+        job_name: str,
+        num_ranks: int,
+        placement: Placement,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Allocate nodes for ``job_name`` using ``placement``."""
+        if job_name in self._jobs:
+            raise ValueError(f"job {job_name!r} already has an allocation")
+        nodes = placement.select(num_ranks, self.free_nodes, rng)
+        invalid = [n for n in nodes if n not in self._free]
+        if invalid:
+            raise RuntimeError(f"placement returned occupied or unknown nodes: {invalid}")
+        self._free.difference_update(nodes)
+        self._jobs[job_name] = list(nodes)
+        return list(nodes)
+
+    def release(self, job_name: str) -> None:
+        """Return a job's nodes to the free pool."""
+        nodes = self._jobs.pop(job_name, None)
+        if nodes is None:
+            raise KeyError(f"job {job_name!r} has no allocation")
+        self._free.update(nodes)
+
+    def utilization(self) -> float:
+        """Fraction of nodes currently allocated."""
+        return 1.0 - len(self._free) / self.num_nodes

@@ -1,0 +1,34 @@
+"""Placement policy interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Placement"]
+
+
+class Placement(abc.ABC):
+    """Chooses which free nodes a job's ranks occupy."""
+
+    #: Policy name used in reports.
+    name = "base"
+
+    @abc.abstractmethod
+    def select(
+        self, num_ranks: int, free_nodes: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        """Pick ``num_ranks`` nodes out of ``free_nodes`` (rank i -> result[i]).
+
+        Raises ``ValueError`` when not enough nodes are free.
+        """
+
+    def _check(self, num_ranks: int, free_nodes: Sequence[int]) -> None:
+        if num_ranks < 1:
+            raise ValueError("a job needs at least one rank")
+        if num_ranks > len(free_nodes):
+            raise ValueError(
+                f"cannot place {num_ranks} ranks on {len(free_nodes)} free nodes"
+            )

@@ -1,0 +1,30 @@
+"""Contiguous placement: ranks occupy consecutive free nodes.
+
+Contiguous placement keeps a job inside as few groups as possible, isolating
+it from other workloads at the cost of local hot spots and system
+fragmentation (the drawbacks discussed in the paper's introduction).  It is
+used by the placement ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.placement.base import Placement
+
+__all__ = ["ContiguousPlacement"]
+
+
+class ContiguousPlacement(Placement):
+    """Lowest-numbered consecutive free nodes first."""
+
+    name = "contiguous"
+
+    def select(
+        self, num_ranks: int, free_nodes: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        self._check(num_ranks, free_nodes)
+        ordered = sorted(free_nodes)
+        return list(ordered[:num_ranks])

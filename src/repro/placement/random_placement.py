@@ -1,0 +1,30 @@
+"""Random placement: ranks land on uniformly random free nodes.
+
+This is the placement used throughout the paper's experiments; it spreads
+every job across many groups, which increases inter-job link sharing and is
+exactly the regime in which routing quality matters most.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.placement.base import Placement
+
+__all__ = ["RandomPlacement"]
+
+
+class RandomPlacement(Placement):
+    """Uniformly random node selection without replacement."""
+
+    name = "random"
+
+    def select(
+        self, num_ranks: int, free_nodes: Sequence[int], rng: np.random.Generator
+    ) -> List[int]:
+        self._check(num_ranks, free_nodes)
+        nodes = np.asarray(list(free_nodes))
+        picks = rng.choice(nodes.shape[0], size=num_ranks, replace=False)
+        return [int(nodes[i]) for i in picks]

@@ -1,0 +1,86 @@
+"""Dragonfly routing algorithms.
+
+Six algorithms are provided, matching Section II-B of the paper:
+
+* ``minimal``      — always the (unique) minimal l-g-l path;
+* ``valiant``      — always mis-route through a random intermediate group;
+* ``ugal-g``       — UGAL with a one-time source decision, minimal inside the
+                     intermediate group (UGALg);
+* ``ugal-n``       — UGAL visiting a random router in the intermediate group
+                     (UGALn);
+* ``par``          — Progressive Adaptive Routing: UGALn plus the ability of
+                     source-group routers to revise a minimal decision once;
+* ``q-adaptive``   — reinforcement-learning routing with a per-router
+                     two-level Q-table (Kang et al., HPDC'21).
+
+Use :func:`create_routing` to instantiate one by name.
+"""
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.minimal import MinimalRouting
+from repro.routing.valiant import ValiantRouting
+from repro.routing.ugal import UgalGRouting, UgalNRouting
+from repro.routing.par import ParRouting
+from repro.routing.qadaptive import QAdaptiveRouting
+from repro.routing.qtable import QTable
+
+__all__ = [
+    "ALGORITHMS",
+    "MinimalRouting",
+    "ParRouting",
+    "QAdaptiveRouting",
+    "QTable",
+    "RoutingAlgorithm",
+    "UgalGRouting",
+    "UgalNRouting",
+    "ValiantRouting",
+    "create_routing",
+]
+
+#: Registry of algorithm name -> class.
+ALGORITHMS = {
+    "minimal": MinimalRouting,
+    "valiant": ValiantRouting,
+    "ugal-g": UgalGRouting,
+    "ugal-n": UgalNRouting,
+    "par": ParRouting,
+    "q-adaptive": QAdaptiveRouting,
+}
+
+#: Aliases accepted by :func:`create_routing`.
+_ALIASES = {
+    "min": "minimal",
+    "val": "valiant",
+    "ugalg": "ugal-g",
+    "ugaln": "ugal-n",
+    "ugal": "ugal-g",
+    "qadaptive": "q-adaptive",
+    "q-adp": "q-adaptive",
+    "qadp": "q-adaptive",
+}
+
+
+def create_routing(name, network, config, rng) -> RoutingAlgorithm:
+    """Instantiate the routing algorithm ``name`` for ``network``.
+
+    Parameters
+    ----------
+    name:
+        Algorithm name or alias (case-insensitive), e.g. ``"par"``.
+    network:
+        The :class:`repro.network.DragonflyNetwork` being routed.
+    config:
+        A :class:`repro.config.RoutingConfig`.
+    rng:
+        A :class:`numpy.random.Generator` used for candidate sampling and
+        exploration.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        cls = ALGORITHMS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(network, config, rng)

@@ -1,0 +1,29 @@
+"""Minimal (MIN) routing: always the unique l-g-l path.
+
+Minimal routing is the lower bound on path length and the upper bound on
+contention for adversarial traffic: because each group pair shares a single
+global link, any traffic pattern concentrating on few group pairs saturates
+those links.  It is included as a baseline for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.network.packet import Packet, PathClass
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingAlgorithm):
+    """Always forward along the minimal path."""
+
+    name = "minimal"
+
+    def route(self, router, packet: Packet) -> Tuple[int, int]:
+        if packet.path_class == PathClass.UNDECIDED:
+            packet.path_class = PathClass.MINIMAL
+            packet.minimal_decision_final = True
+        port = self.minimal_port(router, packet.dst_node)
+        return port, self.next_vc(router, packet)

@@ -1,0 +1,202 @@
+"""Q-adaptive routing: reinforcement-learning path selection on Dragonfly.
+
+The algorithm follows the description in the paper (Section II-B, Fig. 2) and
+its reference (Kang et al., HPDC'21):
+
+1. every router keeps a light-weight **two-level Q-table** whose entries
+   estimate the remaining delivery time towards each destination group
+   (inter-group level) or towards each router of its own group (intra-group
+   level), per output port;
+2. when a router receives a packet from a neighbouring router it sends back a
+   **feedback signal** — its own best estimate of the remaining delivery time
+   for that packet's destination — after one reverse-link latency; the
+   upstream router folds the measured hop delay plus that estimate into the
+   Q-value of the port it used (Boyan–Littman Q-routing update);
+3. at the source router the packet chooses between the minimal port and a few
+   sampled non-minimal first hops by **minimizing queue delay + Q**, with a
+   small ε-greedy exploration term.  Downstream routers follow the chosen
+   path like the UGAL family does.
+
+The decisive difference from adaptive routing is therefore *what the decision
+is based on*: learned end-to-end delivery-time estimates (which reflect
+congestion anywhere along the path) instead of local queue occupancy only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from repro.config import RoutingConfig
+from repro.core.events import EventKind
+from repro.network.packet import Packet, PathClass
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.qtable import DestKey, QTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.network import DragonflyNetwork
+    from repro.network.router import Router
+
+__all__ = ["QAdaptiveRouting"]
+
+
+class QAdaptiveRouting(RoutingAlgorithm):
+    """Distributed Q-routing over the Dragonfly candidate paths."""
+
+    name = "q-adaptive"
+
+    def __init__(self, network: "DragonflyNetwork", config: RoutingConfig, rng: np.random.Generator):
+        super().__init__(network, config, rng)
+        self._tables: Dict[int, QTable] = {}
+        #: Total feedback signals applied (observability / tests).
+        self.feedback_count = 0
+
+    # --------------------------------------------------------------- tables
+    def table_for(self, router: "Router") -> QTable:
+        """The Q-table of ``router`` (created on first use)."""
+        table = self._tables.get(router.router_id)
+        if table is None:
+            table = QTable(router.router_id, self._make_initializer(router))
+            self._tables[router.router_id] = table
+        return table
+
+    def _make_initializer(self, router: "Router"):
+        """Optimistic zero-load initial estimates for a router's table."""
+        topo = self.topology
+        config = self.network.config.system
+        local, global_, terminal = (
+            config.local_latency_ns,
+            config.global_latency_ns,
+            config.terminal_latency_ns,
+        )
+        serialization = config.packet_serialization_ns
+
+        def initializer(port: int, dest: DestKey) -> float:
+            # Remaining time ≈ hop over `port` + minimal remainder from the
+            # neighbour, assuming an uncongested network.
+            hop = topo.link_latency(port) + serialization
+            neighbor = topo.neighbor(router.router_id, port)
+            if neighbor.is_node:
+                return hop
+            next_router = neighbor.router
+            if dest[0] == "r":
+                remaining = 0.0 if next_router == dest[1] else local
+            else:
+                next_group = topo.group_of_router(next_router)
+                if next_group == dest[1]:
+                    remaining = local
+                else:
+                    remaining = local + global_ + local
+            return hop + remaining + terminal
+
+        return initializer
+
+    # ------------------------------------------------------------ decisions
+    def _dest_key(self, router: "Router", packet: Packet) -> DestKey:
+        dst_router = self.topology.router_of_node(packet.dst_node)
+        dst_group = self.topology.group_of_router(dst_router)
+        if dst_group == router.group:
+            return ("r", dst_router)
+        return ("g", dst_group)
+
+    def _candidates(self, router: "Router", packet: Packet) -> List[Tuple[int, int, int | None]]:
+        """Candidate first hops: ``(port, PathClass, intermediate_group)``."""
+        candidates: List[Tuple[int, int, int | None]] = []
+        min_port = self.minimal_port(router, packet.dst_node)
+        candidates.append((min_port, PathClass.MINIMAL, None))
+        dst_group = self.topology.group_of_node(packet.dst_node)
+        if dst_group != router.group:
+            for group in self.sample_intermediate_groups(
+                router, packet, self.config.nonminimal_candidates
+            ):
+                port = self.port_toward_group(router, group)
+                candidates.append((port, PathClass.NONMINIMAL, group))
+        return candidates
+
+    def decide_at_source(self, router: "Router", packet: Packet) -> None:
+        """Pick minimal vs non-minimal using learned delivery-time estimates."""
+        table = self.table_for(router)
+        dest = self._dest_key(router, packet)
+        candidates = self._candidates(router, packet)
+
+        if len(candidates) > 1 and self.rng.random() < self.config.q_exploration:
+            choice = candidates[int(self.rng.integers(len(candidates)))]
+        else:
+            best_score = float("inf")
+            choice = candidates[0]
+            for candidate in candidates:
+                port = candidate[0]
+                score = (
+                    self.config.q_queue_weight * router.queue_delay_estimate(port)
+                    + table.get(port, dest)
+                )
+                if score < best_score:
+                    best_score = score
+                    choice = candidate
+
+        _, path_class, intermediate = choice
+        packet.path_class = PathClass(path_class)
+        packet.intermediate_group = intermediate
+        packet.minimal_decision_final = True
+
+    def route(self, router: "Router", packet: Packet) -> Tuple[int, int]:
+        if packet.path_class == PathClass.UNDECIDED:
+            self.decide_at_source(router, packet)
+        port = self.forward_port(router, packet)
+        return port, self.next_vc(router, packet)
+
+    # ------------------------------------------------------------- learning
+    def estimate_remaining(self, router: "Router", packet: Packet) -> float:
+        """This router's best estimate of the packet's remaining delivery time."""
+        dst_router = self.topology.router_of_node(packet.dst_node)
+        if dst_router == router.router_id:
+            # Only the terminal hop remains.
+            return (
+                self.network.config.system.packet_serialization_ns
+                + self.network.config.system.terminal_latency_ns
+            )
+        table = self.table_for(router)
+        dest = self._dest_key(router, packet)
+        port = self.forward_port(router, packet)
+        scores = [
+            (port, self.config.q_queue_weight * router.queue_delay_estimate(port))
+        ]
+        _, best = table.best(scores, dest)
+        return best
+
+    def on_packet_received(self, router: "Router", in_port: int, packet: Packet) -> None:
+        """Send the delivery-time feedback for this hop back to the sender."""
+        in_link = router.in_links[in_port]
+        if in_link is None:
+            return
+        sender = in_link.src
+        # Feedback only flows between routers; NIC injections carry no Q-value.
+        from repro.network.router import Router as _Router
+
+        if not isinstance(sender, _Router):
+            return
+        if packet.request_time is None:
+            return
+        hop_delay = router.sim.now - packet.request_time
+        estimate = self.estimate_remaining(router, packet)
+        dest = self._dest_key(sender, packet)
+        sample = hop_delay + estimate
+        router.sim.schedule(
+            in_link.latency,
+            self._apply_feedback,
+            sender,
+            in_link.src_port,
+            dest,
+            sample,
+            kind=EventKind.ROUTING_FEEDBACK,
+        )
+
+    def _apply_feedback(self, sender: "Router", port: int, dest: DestKey, sample: float) -> None:
+        self.table_for(sender).update(port, dest, sample, self.config.q_learning_rate)
+        self.feedback_count += 1
+
+    # ------------------------------------------------------------------ misc
+    def total_table_entries(self) -> int:
+        """Materialized table entries across all routers (observability)."""
+        return sum(t.known_entries() for t in self._tables.values())

@@ -1,0 +1,92 @@
+"""Two-level Q-table held by every router under Q-adaptive routing.
+
+The table stores, per output port, the estimated remaining delivery time (in
+nanoseconds) towards
+
+* every destination *group* (the inter-group level), and
+* every destination *router of the local group* (the intra-group level).
+
+Entries are created lazily and initialized with an optimistic zero-load
+estimate provided by the caller, so the very first packets follow minimal
+paths and exploration starts from a sensible prior — matching the paper's
+setup where Q-adaptive starts "without any pre-trained information".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Tuple
+
+__all__ = ["QTable"]
+
+#: Destination key: ("g", group_id) for inter-group, ("r", router_id) intra-group.
+DestKey = Tuple[str, int]
+
+
+class QTable:
+    """Per-router table mapping (output port, destination key) to a Q-value."""
+
+    __slots__ = ("router_id", "_values", "_initializer", "updates")
+
+    def __init__(
+        self,
+        router_id: int,
+        initializer: Callable[[int, DestKey], float],
+    ):
+        self.router_id = router_id
+        self._values: Dict[Tuple[int, DestKey], float] = {}
+        self._initializer = initializer
+        #: Number of learning updates applied (observability / tests).
+        self.updates = 0
+
+    def get(self, port: int, dest: DestKey) -> float:
+        """Current Q-value for forwarding towards ``dest`` through ``port``."""
+        key = (port, dest)
+        value = self._values.get(key)
+        if value is None:
+            value = float(self._initializer(port, dest))
+            self._values[key] = value
+        return value
+
+    def update(self, port: int, dest: DestKey, sample: float, learning_rate: float) -> float:
+        """Blend a new delivery-time ``sample`` into the estimate.
+
+        Standard exponential moving average update
+        ``Q ← (1 - α) Q + α · sample``; returns the new value.
+        """
+        if sample < 0:
+            raise ValueError("a delivery-time sample cannot be negative")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        old = self.get(port, dest)
+        new = (1.0 - learning_rate) * old + learning_rate * sample
+        self._values[(port, dest)] = new
+        self.updates += 1
+        return new
+
+    def best(self, ports_and_delays, dest: DestKey) -> Tuple[int, float]:
+        """Port with the smallest (queue delay + Q) among ``ports_and_delays``.
+
+        ``ports_and_delays`` is an iterable of ``(port, queue_delay_ns)``.
+        Returns ``(port, score)``.
+        """
+        best_port = -1
+        best_score = float("inf")
+        for port, delay in ports_and_delays:
+            score = delay + self.get(port, dest)
+            if score < best_score:
+                best_score = score
+                best_port = port
+        if best_port < 0:
+            raise ValueError("best() called with an empty candidate set")
+        return best_port, best_score
+
+    def known_entries(self) -> int:
+        """Number of materialized (port, destination) entries."""
+        return len(self._values)
+
+    def snapshot(self) -> Dict[Tuple[int, DestKey], float]:
+        """Copy of the current table contents (for inspection and tests)."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QTable(router={self.router_id}, entries={len(self._values)}, updates={self.updates})"

@@ -1,0 +1,39 @@
+"""Valiant (VAL) routing: always mis-route through a random intermediate group.
+
+Valiant routing randomizes any traffic pattern into (two copies of) uniform
+random traffic, trading doubled path length for worst-case guarantees.  It is
+the non-minimal leg that the UGAL family and Q-adaptive choose adaptively.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.network.packet import Packet, PathClass
+from repro.routing.base import RoutingAlgorithm
+
+__all__ = ["ValiantRouting"]
+
+
+class ValiantRouting(RoutingAlgorithm):
+    """Group-level Valiant: every inter-group packet takes a random detour."""
+
+    name = "valiant"
+
+    def route(self, router, packet: Packet) -> Tuple[int, int]:
+        if packet.path_class == PathClass.UNDECIDED:
+            dst_group = self.topology.group_of_node(packet.dst_node)
+            if dst_group == router.group:
+                # Intra-group traffic is forwarded minimally (single local hop).
+                packet.path_class = PathClass.MINIMAL
+            else:
+                groups = self.sample_intermediate_groups(router, packet, 1)
+                if groups:
+                    packet.path_class = PathClass.NONMINIMAL
+                    packet.intermediate_group = groups[0]
+                else:
+                    # Degenerate two-group system: no detour is possible.
+                    packet.path_class = PathClass.MINIMAL
+            packet.minimal_decision_final = True
+        port = self.forward_port(router, packet)
+        return port, self.next_vc(router, packet)

@@ -1,0 +1,26 @@
+"""Statistics collection ("IO module" of the paper's enhanced SST).
+
+The collector records application-level and network-level counters during a
+simulation run:
+
+* per-packet records (latency distributions, Figs 6, 7, 13);
+* per-application injected/ejected byte time series (throughput, Figs 5, 9, 13);
+* per-output-port stall time (Fig 11);
+* per-link traffic, per application (congestion index, Fig 12);
+* per-application message logs and per-rank communication times (Figs 4, 8, 10).
+"""
+
+from repro.stats.appstats import ApplicationRecord, IterationRecord
+from repro.stats.collector import PacketRecord, StatsCollector
+from repro.stats.counters import LinkTrafficCounter, PortStallCounter
+from repro.stats.timeseries import BinnedSeries
+
+__all__ = [
+    "ApplicationRecord",
+    "BinnedSeries",
+    "IterationRecord",
+    "LinkTrafficCounter",
+    "PacketRecord",
+    "PortStallCounter",
+    "StatsCollector",
+]

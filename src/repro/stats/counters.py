@@ -1,0 +1,109 @@
+"""Network-level counters: port stall time and per-link traffic."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from repro.network.link import LinkKind
+
+__all__ = ["PortStallCounter", "LinkTrafficCounter"]
+
+#: Key identifying one router output port.
+PortKey = Tuple[int, int]
+#: Key identifying one directed router-to-router link by its endpoints.
+LinkKey = Tuple[int, int, int]
+
+
+class PortStallCounter:
+    """Accumulated head-of-queue stall time per router output port.
+
+    Stall time is the paper's Fig. 11 metric: how long head packets waited on
+    an output port (for the link or for downstream credits) before being
+    forwarded.  Per-application attribution is kept so interference can be
+    traced back to the application causing or suffering the stall.
+    """
+
+    def __init__(self):
+        self._by_port: Dict[PortKey, float] = defaultdict(float)
+        self._by_port_app: Dict[Tuple[int, int, int], float] = defaultdict(float)
+        self._port_kind: Dict[PortKey, LinkKind] = {}
+
+    def add(self, router_id: int, port: int, kind: LinkKind, stall_ns: float, app_id: int) -> None:
+        """Charge ``stall_ns`` of blocking to ``(router, port)``."""
+        if stall_ns < 0:
+            raise ValueError("stall time cannot be negative")
+        key = (router_id, port)
+        self._by_port[key] += stall_ns
+        self._by_port_app[(router_id, port, app_id)] += stall_ns
+        self._port_kind[key] = kind
+
+    def total(self, kind: LinkKind | None = None) -> float:
+        """Total stall time, optionally restricted to one link class."""
+        if kind is None:
+            return float(sum(self._by_port.values()))
+        return float(
+            sum(v for k, v in self._by_port.items() if self._port_kind.get(k) == kind)
+        )
+
+    def by_port(self) -> Dict[PortKey, float]:
+        """Copy of the per-port stall totals."""
+        return dict(self._by_port)
+
+    def by_router(self, kind: LinkKind | None = None) -> Dict[int, float]:
+        """Stall time aggregated per router, optionally per link class."""
+        out: Dict[int, float] = defaultdict(float)
+        for (router, port), value in self._by_port.items():
+            if kind is not None and self._port_kind.get((router, port)) != kind:
+                continue
+            out[router] += value
+        return dict(out)
+
+    def for_app(self, app_id: int) -> float:
+        """Total stall time charged to packets of ``app_id``."""
+        return float(sum(v for (_, _, a), v in self._by_port_app.items() if a == app_id))
+
+    def port_kind(self, router_id: int, port: int) -> LinkKind | None:
+        """Link class of a port that has recorded at least one stall."""
+        return self._port_kind.get((router_id, port))
+
+
+class LinkTrafficCounter:
+    """Bytes carried per directed link, total and per application."""
+
+    def __init__(self):
+        self._bytes: Dict[LinkKey, int] = defaultdict(int)
+        self._bytes_app: Dict[Tuple[LinkKey, int], int] = defaultdict(int)
+        self._kind: Dict[LinkKey, LinkKind] = {}
+
+    def add(self, key: LinkKey, kind: LinkKind, num_bytes: int, app_id: int) -> None:
+        """Record ``num_bytes`` carried by the link identified by ``key``."""
+        self._bytes[key] += num_bytes
+        self._bytes_app[(key, app_id)] += num_bytes
+        self._kind[key] = kind
+
+    def bytes_on(self, key: LinkKey) -> int:
+        """Total bytes carried by one link."""
+        return self._bytes.get(key, 0)
+
+    def by_link(self, kind: LinkKind | None = None) -> Dict[LinkKey, int]:
+        """Per-link byte totals, optionally restricted to one link class."""
+        if kind is None:
+            return dict(self._bytes)
+        return {k: v for k, v in self._bytes.items() if self._kind.get(k) == kind}
+
+    def by_app(self, app_id: int) -> Dict[LinkKey, int]:
+        """Per-link byte totals for one application."""
+        out: Dict[LinkKey, int] = {}
+        for (key, app), value in self._bytes_app.items():
+            if app == app_id:
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def total_bytes(self, kind: LinkKind | None = None) -> int:
+        """Total bytes over all links of a class (or all links)."""
+        return int(sum(self.by_link(kind).values()))
+
+    def kind_of(self, key: LinkKey) -> LinkKind | None:
+        """Link class of ``key`` if it has carried traffic."""
+        return self._kind.get(key)

@@ -1,0 +1,92 @@
+"""Binned time series used for throughput and latency-over-time plots."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BinnedSeries"]
+
+
+class BinnedSeries:
+    """Accumulates values into fixed-width time bins.
+
+    Two usage patterns are supported:
+
+    * *sums* (e.g. bytes delivered per bin, converted to throughput), via
+      :meth:`add`;
+    * *averages* (e.g. mean packet latency per bin), via :meth:`add` combined
+      with :meth:`counts` / :meth:`means`.
+    """
+
+    __slots__ = ("bin_width", "_sums", "_counts")
+
+    def __init__(self, bin_width: float):
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_width = float(bin_width)
+        self._sums: Dict[int, float] = {}
+        self._counts: Dict[int, int] = {}
+
+    def add(self, time: float, value: float) -> None:
+        """Add ``value`` to the bin containing ``time``."""
+        idx = int(time // self.bin_width)
+        self._sums[idx] = self._sums.get(idx, 0.0) + value
+        self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    @property
+    def empty(self) -> bool:
+        """Whether no value has been recorded."""
+        return not self._sums
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins between the first and last populated bin (inclusive)."""
+        if not self._sums:
+            return 0
+        indices = self._sums.keys()
+        return max(indices) - min(indices) + 1
+
+    def _dense(self, values: Dict[int, float]) -> Tuple[np.ndarray, np.ndarray]:
+        if not values:
+            return np.empty(0), np.empty(0)
+        lo, hi = min(values), max(values)
+        idx = np.arange(lo, hi + 1)
+        dense = np.zeros(idx.shape[0])
+        for i, value in values.items():
+            dense[i - lo] = value
+        times = (idx + 0.5) * self.bin_width
+        return times, dense
+
+    def sums(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense (bin centre times, per-bin sums) arrays."""
+        return self._dense(self._sums)
+
+    def counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense (bin centre times, per-bin counts) arrays."""
+        return self._dense({k: float(v) for k, v in self._counts.items()})
+
+    def means(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense (bin centre times, per-bin mean value) arrays."""
+        times, sums = self.sums()
+        _, counts = self.counts()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        return times, means
+
+    def rates(self, per: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bin sums converted to a rate (sum per ``per`` time units).
+
+        For example ``rates(per=1e6)`` on a bytes series with nanosecond bins
+        yields bytes per millisecond.
+        """
+        times, sums = self.sums()
+        return times, sums * (per / self.bin_width)
+
+    def total(self) -> float:
+        """Sum of every recorded value."""
+        return float(sum(self._sums.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinnedSeries(bin_width={self.bin_width}, bins={len(self._sums)})"

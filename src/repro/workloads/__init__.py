@@ -1,0 +1,49 @@
+"""Workloads: the nine applications studied in the paper.
+
+Each application is a rank-program generator over the MPI layer, equivalent
+to the paper's (enhanced) SST/Ember motifs:
+
+==============  =============  ==========================================
+Application     Pattern        Notes
+==============  =============  ==========================================
+UR              random         uniform-random one-to-one background traffic
+LU              sweep          2-D wavefront (NPB LU Gauss–Seidel solver)
+FFT3D           alltoall       row/column all-to-alls of a 2-D decomposition
+Halo3D          stencil        3-D nearest-neighbour halo exchange
+LQCD            stencil        4-D stencil (lattice QCD)
+Stencil5D       stencil        synthetic 5-D stencil, largest peak ingress
+CosmoFlow       allreduce      data-parallel DL with long compute intervals
+DL              allreduce      heavier data-parallel DL (higher injection rate)
+LULESH          hybrid         26-point 3-D stencil + sweep + tiny allreduce
+==============  =============  ==========================================
+"""
+
+from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
+from repro.workloads.uniform_random import UniformRandom
+from repro.workloads.lu import LU
+from repro.workloads.fft3d import FFT3D
+from repro.workloads.halo3d import Halo3D
+from repro.workloads.lqcd import LQCD
+from repro.workloads.stencil5d import Stencil5D
+from repro.workloads.cosmoflow import CosmoFlow
+from repro.workloads.dl import DL
+from repro.workloads.lulesh import LULESH
+from repro.workloads.registry import APPLICATIONS, create_application
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "CosmoFlow",
+    "DL",
+    "FFT3D",
+    "Halo3D",
+    "LQCD",
+    "LU",
+    "LULESH",
+    "Stencil5D",
+    "UniformRandom",
+    "balanced_grid",
+    "create_application",
+    "grid_coords",
+    "grid_rank",
+]

@@ -1,0 +1,58 @@
+"""CosmoFlow: synchronous data-parallel deep learning with long compute gaps.
+
+CosmoFlow alternates long compute intervals (the forward/backward pass over a
+local batch of the cosmology volume) with a gradient allreduce.  It has the
+lowest message injection rate of the suite but a sizeable peak ingress
+volume (the allreduce tree exchanges two child messages back-to-back), and —
+as the paper shows in Section V-D — its long compute phases hide most of the
+interference it experiences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Application
+
+__all__ = ["CosmoFlow"]
+
+
+class CosmoFlow(Application):
+    """Allreduce-dominated DL training step with long compute intervals."""
+
+    name = "CosmoFlow"
+    pattern = "allreduce"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        allreduce_bytes: int = 56 * 1024,
+        iterations: int = 2,
+        compute_ns: float = 160_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if allreduce_bytes < 1:
+            raise ValueError("allreduce size must be positive")
+        self.allreduce_bytes = allreduce_bytes
+        self.compute_ns = float(compute_ns)
+
+    def program(self, ctx) -> Iterator:
+        size = self.scaled(self.allreduce_bytes)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            # Forward + backward pass over the local mini-batch.
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            # Gradient aggregation across all ranks.
+            yield from ctx.allreduce(size)
+            ctx.end_iteration()
+
+    def peak_ingress_bytes(self) -> int:
+        # A binary-tree node feeds up to two children back-to-back.
+        return 2 * self.scaled(self.allreduce_bytes)
+
+    def message_volume_per_rank(self) -> int:
+        # Reduce up + broadcast down: roughly two tree messages per iteration.
+        return 2 * self.scaled(self.allreduce_bytes) * self.iterations

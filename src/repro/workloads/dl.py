@@ -1,0 +1,39 @@
+"""DL: heavier data-parallel deep-learning training.
+
+DL represents large-scale distributed training over a massive dataset: its
+allreduce messages are of similar size to CosmoFlow's, but the compute
+interval between them is much shorter, so its message injection rate is
+several times higher (4.7× in the paper).  The pairwise study uses DL as a
+"moderately aggressive" background application between CosmoFlow and Halo3D.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.cosmoflow import CosmoFlow
+
+__all__ = ["DL"]
+
+
+class DL(CosmoFlow):
+    """Allreduce-dominated training with a short compute interval."""
+
+    name = "DL"
+    pattern = "allreduce"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        allreduce_bytes: int = 64 * 1024,
+        iterations: int = 3,
+        compute_ns: float = 35_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            num_ranks,
+            allreduce_bytes=allreduce_bytes,
+            iterations=iterations,
+            compute_ns=compute_ns,
+            scale=scale,
+            seed=seed,
+        )

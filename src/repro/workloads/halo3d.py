@@ -1,0 +1,39 @@
+"""Halo3D: 3-D nearest-neighbour stencil (highest injection rate).
+
+Halo3D exchanges halos with up to six neighbours every iteration and does
+almost no computation in between, which makes it the most communication-
+intensive application of the suite — the paper measures a 4.4 TB/s aggregate
+injection rate, by far the highest, and uses Halo3D as the most aggressive
+background workload in the pairwise study.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.stencil import NDStencil
+
+__all__ = ["Halo3D"]
+
+
+class Halo3D(NDStencil):
+    """3-D halo exchange with six neighbours and negligible compute."""
+
+    name = "Halo3D"
+    dimensions = 3
+
+    def __init__(
+        self,
+        num_ranks: int,
+        message_bytes: int = 10 * 1024,
+        iterations: int = 4,
+        compute_ns: float = 1_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            num_ranks,
+            message_bytes=message_bytes,
+            iterations=iterations,
+            compute_ns=compute_ns,
+            scale=scale,
+            seed=seed,
+        )

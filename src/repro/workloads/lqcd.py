@@ -1,0 +1,39 @@
+"""LQCD: 4-D stencil (lattice quantum chromodynamics).
+
+LQCD communicates with up to eight neighbours along a four-dimensional
+process grid and interleaves substantial computation, giving it a moderate
+injection rate but the second-largest peak ingress volume of the suite —
+which is why the paper finds it nearly immune to interference from other
+workloads (Section V-C).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.stencil import NDStencil
+
+__all__ = ["LQCD"]
+
+
+class LQCD(NDStencil):
+    """4-D stencil with eight neighbours and heavy per-iteration compute."""
+
+    name = "LQCD"
+    dimensions = 4
+
+    def __init__(
+        self,
+        num_ranks: int,
+        message_bytes: int = 24 * 1024,
+        iterations: int = 2,
+        compute_ns: float = 45_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            num_ranks,
+            message_bytes=message_bytes,
+            iterations=iterations,
+            compute_ns=compute_ns,
+            scale=scale,
+            seed=seed,
+        )

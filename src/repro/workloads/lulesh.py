@@ -1,0 +1,131 @@
+"""LULESH: hybrid 26-point 3-D stencil + sweep proxy application.
+
+LULESH (Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics)
+represents a typical hydrocode.  Its communication, as characterised in the
+literature the paper builds on (Durango / automated pattern extraction), is
+dominated by a 26-point 3-D stencil — six face, twelve edge and eight corner
+exchanges with decreasing message sizes — followed by a sweep-style exchange
+along the grid diagonals and a tiny time-step allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
+
+__all__ = ["LULESH"]
+
+
+class LULESH(Application):
+    """26-point stencil + sweep + time-step allreduce."""
+
+    name = "LULESH"
+    pattern = "stencil+sweep"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        face_bytes: int = 10 * 1024,
+        edge_bytes: int = 3 * 1024,
+        corner_bytes: int = 1024,
+        sweep_bytes: int = 4 * 1024,
+        iterations: int = 3,
+        compute_ns: float = 3_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        self.face_bytes = face_bytes
+        self.edge_bytes = edge_bytes
+        self.corner_bytes = corner_bytes
+        self.sweep_bytes = sweep_bytes
+        self.compute_ns = float(compute_ns)
+        self.shape: List[int] = balanced_grid(num_ranks, 3)
+
+    # ----------------------------------------------------------- structure
+    def _stencil_neighbors(self, rank: int):
+        """26-point neighbours of ``rank``: (neighbour, kind, tag_offset)."""
+        coords = grid_coords(rank, self.shape)
+        neighbors = []
+        offset = 0
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    if dx == dy == dz == 0:
+                        continue
+                    offset += 1
+                    target = (coords[0] + dx, coords[1] + dy, coords[2] + dz)
+                    if not all(0 <= t < e for t, e in zip(target, self.shape)):
+                        continue
+                    order = abs(dx) + abs(dy) + abs(dz)
+                    kind = {1: "face", 2: "edge", 3: "corner"}[order]
+                    neighbors.append((grid_rank(target, self.shape), kind, offset))
+        return neighbors
+
+    def _sweep_neighbors(self, rank: int):
+        """Upstream / downstream partners of the sweep phase."""
+        coords = grid_coords(rank, self.shape)
+        upstream, downstream = [], []
+        for dim in range(3):
+            if coords[dim] > 0:
+                lower = list(coords)
+                lower[dim] -= 1
+                upstream.append(grid_rank(lower, self.shape))
+            if coords[dim] < self.shape[dim] - 1:
+                upper = list(coords)
+                upper[dim] += 1
+                downstream.append(grid_rank(upper, self.shape))
+        return upstream, downstream
+
+    def _message_size(self, kind: str) -> int:
+        sizes = {
+            "face": self.face_bytes,
+            "edge": self.edge_bytes,
+            "corner": self.corner_bytes,
+        }
+        return self.scaled(sizes[kind])
+
+    # ------------------------------------------------------------- program
+    def program(self, ctx) -> Iterator:
+        stencil = self._stencil_neighbors(ctx.rank)
+        upstream, downstream = self._sweep_neighbors(ctx.rank)
+        sweep_size = self.scaled(self.sweep_bytes)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            # Phase 1: 26-point halo exchange (non-blocking, like MPI_Isend/Irecv).
+            requests = []
+            for neighbor, kind, offset in stencil:
+                # The matching peer sees the mirrored offset (27 - offset).
+                requests.append(ctx.isend(neighbor, self._message_size(kind), tag=200 + offset))
+                requests.append(ctx.irecv(neighbor, tag=200 + (27 - offset)))
+            if requests:
+                yield ctx.waitall(requests)
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            # Phase 2: sweep exchange along the grid diagonal.
+            sweep_tag = 300 + iteration
+            if upstream:
+                yield ctx.waitall([ctx.irecv(peer, tag=sweep_tag) for peer in upstream])
+            if downstream:
+                yield ctx.waitall(
+                    [ctx.isend(peer, sweep_size, tag=sweep_tag) for peer in downstream]
+                )
+            # Phase 3: tiny collective for the global time-step computation.
+            yield from ctx.allreduce(8)
+            ctx.end_iteration()
+
+    # -------------------------------------------------------------- metrics
+    def peak_ingress_bytes(self) -> int:
+        """Largest stencil-phase burst over all ranks (up to 6F + 12E + 8C)."""
+        best = 0
+        for rank in range(self.num_ranks):
+            burst = sum(
+                self._message_size(kind) for _, kind, _ in self._stencil_neighbors(rank)
+            )
+            best = max(best, burst)
+        return best
+
+    def message_volume_per_rank(self) -> int:
+        per_iteration = self.peak_ingress_bytes() + 3 * self.scaled(self.sweep_bytes) + 16
+        return per_iteration * self.iterations

@@ -1,0 +1,50 @@
+"""Registry mapping application names to their classes.
+
+The registry is the single place experiment configurations and the CLI use to
+instantiate workloads by name, so adding a new application only requires
+registering it here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.workloads.base import Application
+from repro.workloads.cosmoflow import CosmoFlow
+from repro.workloads.dl import DL
+from repro.workloads.fft3d import FFT3D
+from repro.workloads.halo3d import Halo3D
+from repro.workloads.lqcd import LQCD
+from repro.workloads.lu import LU
+from repro.workloads.lulesh import LULESH
+from repro.workloads.stencil5d import Stencil5D
+from repro.workloads.uniform_random import UniformRandom
+
+__all__ = ["APPLICATIONS", "create_application"]
+
+#: Canonical application name -> class.
+APPLICATIONS: Dict[str, Type[Application]] = {
+    "UR": UniformRandom,
+    "LU": LU,
+    "FFT3D": FFT3D,
+    "Halo3D": Halo3D,
+    "LQCD": LQCD,
+    "Stencil5D": Stencil5D,
+    "CosmoFlow": CosmoFlow,
+    "DL": DL,
+    "LULESH": LULESH,
+}
+
+_LOWER = {name.lower(): name for name in APPLICATIONS}
+
+
+def create_application(name: str, num_ranks: int, **kwargs) -> Application:
+    """Instantiate the application ``name`` with ``num_ranks`` ranks.
+
+    ``kwargs`` are passed through to the application constructor (message
+    sizes, iterations, ``scale``, ``seed``, …).  Names are case-insensitive.
+    """
+    canonical = _LOWER.get(name.strip().lower())
+    if canonical is None:
+        raise ValueError(f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}")
+    return APPLICATIONS[canonical](num_ranks, **kwargs)

@@ -1,0 +1,81 @@
+"""Shared N-dimensional stencil machinery for Halo3D, LQCD and Stencil5D.
+
+A stencil application arranges its ranks in an N-dimensional (non-periodic)
+grid; every iteration each rank exchanges one message with each of its
+nearest neighbours along every dimension, then computes.  The per-burst
+network demand — the *peak ingress volume* — is therefore the number of
+neighbours times the per-neighbour message size, which is what makes the
+high-dimensional stencils the most aggressive applications in the study.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.workloads.base import Application, balanced_grid, neighbors_nd
+
+__all__ = ["NDStencil"]
+
+
+class NDStencil(Application):
+    """Nearest-neighbour halo exchange on an N-dimensional process grid."""
+
+    pattern = "stencil"
+    #: Number of grid dimensions (subclasses override).
+    dimensions = 3
+
+    def __init__(
+        self,
+        num_ranks: int,
+        message_bytes: int,
+        iterations: int = 4,
+        compute_ns: float = 1_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if message_bytes < 1:
+            raise ValueError("per-neighbour message size must be positive")
+        self.message_bytes = message_bytes
+        self.compute_ns = float(compute_ns)
+        self.shape: List[int] = balanced_grid(num_ranks, self.dimensions)
+
+    # ----------------------------------------------------------- structure
+    def neighbors_of(self, rank: int) -> List[Tuple[int, int, int]]:
+        """(neighbour rank, dimension, direction) triples of ``rank``."""
+        return list(neighbors_nd(rank, self.shape))
+
+    def max_neighbors(self) -> int:
+        """Largest neighbour count over all ranks of the actual process grid.
+
+        A dimension of extent 1 contributes no neighbours, extent 2 exactly
+        one, and larger extents two (for interior ranks).
+        """
+        return sum(0 if extent <= 1 else (1 if extent == 2 else 2) for extent in self.shape)
+
+    # ------------------------------------------------------------- program
+    def program(self, ctx) -> Iterator:
+        message = self.scaled(self.message_bytes)
+        neighbors = self.neighbors_of(ctx.rank)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            requests = []
+            for neighbor, dim, direction in neighbors:
+                # Tag encodes dimension and direction so both sides match the
+                # same physical halo face.
+                send_tag = 10 + dim * 2 + (0 if direction > 0 else 1)
+                recv_tag = 10 + dim * 2 + (1 if direction > 0 else 0)
+                requests.append(ctx.isend(neighbor, message, tag=send_tag))
+                requests.append(ctx.irecv(neighbor, tag=recv_tag))
+            if requests:
+                yield ctx.waitall(requests)
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            ctx.end_iteration()
+
+    # -------------------------------------------------------------- metrics
+    def peak_ingress_bytes(self) -> int:
+        return self.max_neighbors() * self.scaled(self.message_bytes)
+
+    def message_volume_per_rank(self) -> int:
+        return self.max_neighbors() * self.scaled(self.message_bytes) * self.iterations

@@ -1,0 +1,40 @@
+"""Stencil5D: synthetic 5-D stencil with the largest peak ingress volume.
+
+Stencil5D is the paper's synthetic probe for the peak-ingress-volume metric:
+up to ten neighbours per rank with large per-neighbour messages, few
+iterations and long compute phases.  Because the process grid rarely factors
+into five balanced dimensions, edge and surface ranks have fewer neighbours
+and finish their exchanges earlier — the source of the higher per-process
+communication-time variance the paper observes for this application.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.stencil import NDStencil
+
+__all__ = ["Stencil5D"]
+
+
+class Stencil5D(NDStencil):
+    """5-D stencil with up to ten neighbours and the largest bursts."""
+
+    name = "Stencil5D"
+    dimensions = 5
+
+    def __init__(
+        self,
+        num_ranks: int,
+        message_bytes: int = 32 * 1024,
+        iterations: int = 2,
+        compute_ns: float = 90_000.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(
+            num_ranks,
+            message_bytes=message_bytes,
+            iterations=iterations,
+            compute_ns=compute_ns,
+            scale=scale,
+            seed=seed,
+        )

@@ -1,0 +1,75 @@
+"""UR: uniform-random one-to-one traffic.
+
+UR is the balanced-background workload of the study: every iteration each
+rank sends one small message to a uniformly random peer.  To keep MPI
+matching simple and deterministic the random targets are drawn as a shared
+permutation per iteration (every rank computes the same permutation from the
+shared seed), which preserves the uniform-random destination distribution
+while guaranteeing each rank also receives exactly one message per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.base import Application
+
+__all__ = ["UniformRandom"]
+
+
+class UniformRandom(Application):
+    """Uniform-random pairwise traffic with one small message per iteration."""
+
+    name = "UR"
+    pattern = "random"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        message_bytes: int = 2 * 1024,
+        iterations: int = 30,
+        compute_ns: float = 250.0,
+        scale: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if message_bytes < 1:
+            raise ValueError("message size must be positive")
+        self.message_bytes = message_bytes
+        self.compute_ns = float(compute_ns)
+
+    def _permutation(self, iteration: int) -> np.ndarray:
+        """Shared random permutation of ranks for one iteration.
+
+        The permutation is derived from (seed, iteration) only, so every rank
+        computes an identical mapping without any coordination.
+        """
+        rng = np.random.default_rng((self.seed + 1) * 1_000_003 + iteration)
+        return rng.permutation(self.num_ranks)
+
+    def program(self, ctx) -> Iterator:
+        message = self.scaled(self.message_bytes)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            perm = self._permutation(iteration)
+            target = int(perm[ctx.rank])
+            source = int(np.argwhere(perm == ctx.rank)[0][0])
+            requests = []
+            if target != ctx.rank:
+                requests.append(ctx.isend(target, message, tag=iteration))
+            if source != ctx.rank:
+                requests.append(ctx.irecv(source, tag=iteration))
+            if requests:
+                yield ctx.waitall(requests)
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            ctx.end_iteration()
+
+    def peak_ingress_bytes(self) -> int:
+        # One message at a time: the smallest burst of the whole suite.
+        return self.scaled(self.message_bytes)
+
+    def message_volume_per_rank(self) -> int:
+        return self.scaled(self.message_bytes) * self.iterations

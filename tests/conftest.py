@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, small_system, tiny_system
+from repro.core.engine import Simulator
+from repro.network.network import DragonflyNetwork
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A 36-node system configuration used by fast unit tests."""
+    return SimulationConfig(system=tiny_system(), seed=5)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A 72-node system configuration used by integration tests."""
+    return SimulationConfig(system=small_system(), seed=5)
+
+
+@pytest.fixture
+def tiny_network(tiny_config):
+    """A wired 36-node network with PAR routing."""
+    sim = Simulator()
+    network = DragonflyNetwork(sim, tiny_config.with_routing("par"))
+    return sim, network
+
+
+def make_network(config: SimulationConfig, routing: str):
+    """Helper used by tests that need a specific routing algorithm."""
+    sim = Simulator()
+    network = DragonflyNetwork(sim, config.with_routing(routing))
+    return sim, network

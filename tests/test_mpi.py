@@ -1,0 +1,256 @@
+"""Tests of the MPI layer: matching, protocols, collectives, accounting."""
+
+import pytest
+
+from repro.config import SimulationConfig, tiny_system
+from repro.core.engine import Simulator
+from repro.mpi.collectives import tree_children, tree_parent
+from repro.mpi.engine import MpiEngine
+from repro.mpi.message import ANY_SOURCE, ANY_TAG, Envelope, MailBox, RecvRequest
+from repro.network.network import DragonflyNetwork
+
+
+def _engine(seed=1, eager_threshold=4096):
+    config = SimulationConfig(system=tiny_system(), seed=seed, eager_threshold_bytes=eager_threshold)
+    sim = Simulator()
+    network = DragonflyNetwork(sim, config.with_routing("par"))
+    return sim, network, MpiEngine(network)
+
+
+class _Program:
+    """Application stub built from a dict rank -> generator function."""
+
+    def __init__(self, programs):
+        self.programs = programs
+
+    def program(self, ctx):
+        return self.programs[ctx.rank](ctx)
+
+
+def _run(engine):
+    engine.run()
+    assert engine.all_finished
+    return engine
+
+
+# ------------------------------------------------------------- matching
+def test_envelope_matching_with_wildcards():
+    envelope = Envelope(src_rank=3, dst_rank=0, tag=7, size_bytes=100, xid=1)
+    assert envelope.matches(3, 7)
+    assert envelope.matches(ANY_SOURCE, 7)
+    assert envelope.matches(3, ANY_TAG)
+    assert not envelope.matches(2, 7)
+    assert not envelope.matches(3, 8)
+
+
+def test_mailbox_matches_posted_receives_in_fifo_order():
+    mailbox = MailBox()
+    first = RecvRequest(0, ANY_SOURCE, ANY_TAG)
+    second = RecvRequest(0, ANY_SOURCE, ANY_TAG)
+    assert mailbox.post(first) is None
+    assert mailbox.post(second) is None
+    envelope = Envelope(1, 0, 5, 64, 2)
+    assert mailbox.match_arrival(envelope) is first
+    assert mailbox.match_arrival(envelope) is second
+    assert mailbox.match_arrival(envelope) is None
+
+
+def test_mailbox_unexpected_queue_round_trip():
+    mailbox = MailBox()
+    envelope = Envelope(1, 0, 5, 64, 2)
+    mailbox.store_unexpected(envelope, action="act")
+    request = RecvRequest(0, 1, 5)
+    matched = mailbox.post(request)
+    assert matched == (envelope, "act")
+    assert mailbox.pending == 0
+
+
+# ------------------------------------------------------------- protocols
+@pytest.mark.parametrize("size,label", [(1024, "eager"), (64 * 1024, "rendezvous")])
+def test_blocking_send_recv_round_trip(size, label):
+    sim, network, engine = _engine()
+    outcome = {}
+
+    def sender(ctx):
+        yield ctx.send(1, size, tag=3)
+        outcome["send_done"] = ctx.now
+
+    def receiver(ctx):
+        yield ctx.recv(0, tag=3)
+        outcome["recv_done"] = ctx.now
+
+    engine.add_job("pair", [0, 5], application=_Program({0: sender, 1: receiver}))
+    _run(engine)
+    assert outcome["recv_done"] > 0
+    assert network.stats.total_packets_ejected > 0
+    # The receiver can only complete after real network transit.
+    assert outcome["recv_done"] >= network.topology.zero_load_latency(0, 5)
+
+
+def test_recv_posted_before_and_after_arrival_both_complete():
+    sim, network, engine = _engine()
+
+    def early_receiver(ctx):
+        # Posts the receive before the sender even starts.
+        yield ctx.recv(1, tag=1)
+        yield ctx.send(1, 256, tag=2)
+
+    def late_sender(ctx):
+        yield ctx.compute(5_000)
+        yield ctx.send(0, 256, tag=1)
+        # Its own receive is posted long after the message arrives.
+        yield ctx.compute(20_000)
+        yield ctx.recv(0, tag=2)
+
+    engine.add_job("pair", [0, 9], application=_Program({0: early_receiver, 1: late_sender}))
+    _run(engine)
+
+
+def test_wildcard_receive_matches_any_sender():
+    sim, network, engine = _engine()
+    received = []
+
+    def worker(ctx):
+        yield ctx.send(0, 512, tag=ctx.rank)
+
+    def master(ctx):
+        for _ in range(2):
+            yield ctx.recv(ANY_SOURCE, tag=ANY_TAG)
+            received.append(ctx.now)
+
+    engine.add_job(
+        "gather", [0, 4, 8], application=_Program({0: master, 1: worker, 2: worker})
+    )
+    _run(engine)
+    assert len(received) == 2
+
+
+def test_self_send_completes_without_network_traffic():
+    sim, network, engine = _engine()
+
+    def loopback(ctx):
+        req_send = ctx.isend(0, 2048, tag=1)
+        req_recv = ctx.irecv(0, tag=1)
+        yield ctx.waitall([req_send, req_recv])
+
+    engine.add_job("solo", [3], application=_Program({0: loopback}))
+    _run(engine)
+    assert network.stats.total_packets_injected == 0
+
+
+def test_nonblocking_overlap_hides_communication_behind_compute():
+    _, _, engine_overlap = _engine()
+    _, _, engine_serial = _engine()
+    size = 128 * 1024
+    compute = 200_000.0
+
+    def overlap_sender(ctx):
+        request = ctx.isend(1, size, tag=1)
+        yield ctx.compute(compute)
+        yield ctx.wait(request)
+
+    def serial_sender(ctx):
+        yield ctx.send(1, size, tag=1)
+        yield ctx.compute(compute)
+
+    def receiver(ctx):
+        yield ctx.recv(0, tag=1)
+
+    engine_overlap.add_job("o", [0, 8], application=_Program({0: overlap_sender, 1: receiver}))
+    engine_serial.add_job("s", [0, 8], application=_Program({0: serial_sender, 1: receiver}))
+    _run(engine_overlap)
+    _run(engine_serial)
+    overlap_comm = engine_overlap.jobs[0].record.comm_time.get(0, 0.0)
+    serial_comm = engine_serial.jobs[0].record.comm_time.get(0, 0.0)
+    # Overlapping the rendezvous behind compute must hide most of the wait.
+    assert overlap_comm < serial_comm
+
+
+def test_comm_and_compute_time_accounting():
+    sim, network, engine = _engine()
+
+    def program(ctx):
+        yield ctx.compute(10_000)
+        yield ctx.send(1, 32 * 1024, tag=1)
+
+    def receiver(ctx):
+        yield ctx.recv(0, tag=1)
+
+    job = engine.add_job("acct", [0, 6], application=_Program({0: program, 1: receiver}))
+    _run(engine)
+    assert job.record.compute_time[0] == pytest.approx(10_000)
+    assert job.record.comm_time[0] > 0
+    assert job.record.comm_time[1] > 0
+    assert job.record.finish_time[0] >= 10_000
+    assert job.record.total_bytes_sent == 32 * 1024
+
+
+# ------------------------------------------------------------ collectives
+def test_binary_tree_structure_helpers():
+    assert tree_parent(0) is None
+    assert tree_parent(1) == 0 and tree_parent(2) == 0
+    assert tree_children(0, 6) == [1, 2]
+    assert tree_children(2, 6) == [5]
+    assert tree_children(5, 6) == []
+
+
+@pytest.mark.parametrize("collective", ["barrier", "allreduce", "alltoall", "allgather"])
+def test_collectives_complete_for_all_ranks(collective):
+    sim, network, engine = _engine()
+    ranks = 6
+
+    def program(ctx):
+        if collective == "barrier":
+            yield from ctx.barrier()
+        elif collective == "allreduce":
+            yield from ctx.allreduce(16 * 1024)
+        elif collective == "alltoall":
+            yield from ctx.alltoall(2 * 1024)
+        else:
+            yield from ctx.allgather(4 * 1024)
+
+    nodes = [i * 4 for i in range(ranks)]
+    job = engine.add_job("coll", nodes, application=_Program({r: program for r in range(ranks)}))
+    _run(engine)
+    assert len(job.record.finish_time) == ranks
+    assert network.quiescent()
+
+
+def test_subgroup_collectives_do_not_interfere():
+    sim, network, engine = _engine()
+
+    def program(ctx):
+        group = [0, 1, 2] if ctx.rank < 3 else [3, 4, 5]
+        yield from ctx.allreduce(8 * 1024, group=group)
+
+    nodes = [0, 2, 4, 8, 10, 12]
+    engine.add_job("sub", nodes, application=_Program({r: program for r in range(6)}))
+    _run(engine)
+
+
+def test_reduce_and_broadcast_move_expected_volume():
+    sim, network, engine = _engine()
+    size = 8 * 1024
+    ranks = 4
+
+    def program(ctx):
+        yield from ctx.reduce(size)
+        yield from ctx.broadcast(size)
+
+    nodes = [0, 4, 8, 12]
+    job = engine.add_job("rb", nodes, application=_Program({r: program for r in range(ranks)}))
+    _run(engine)
+    # Reduce: every non-root sends once. Broadcast: every non-leaf sends to its
+    # children. Total payload = 2 * (ranks - 1) * size.
+    assert job.record.total_bytes_sent == 2 * (ranks - 1) * size
+
+
+def test_add_job_rejects_overlapping_or_invalid_nodes():
+    sim, network, engine = _engine()
+    engine.add_job("a", [0, 1], application=_Program({0: None, 1: None}))
+    with pytest.raises(ValueError):
+        engine.add_job("b", [1, 2], application=None)
+    with pytest.raises(ValueError):
+        engine.add_job("c", [network.num_nodes], application=None)
+    with pytest.raises(ValueError):
+        engine.add_job("d", [5, 5], application=None)

@@ -1,0 +1,135 @@
+"""Tests for packets, VC buffers, credit trackers and the link model."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.network.buffers import CreditTracker, VcInputBuffer
+from repro.network.link import Link, LinkKind
+from repro.network.packet import Message, MessageKind, Packet
+
+
+# ----------------------------------------------------------------- packets
+def test_message_segmentation_covers_every_byte():
+    message = Message(0, 1, 1300, app_id=2, tag=9)
+    packets = message.segment(512, 128)
+    assert [p.size_bytes for p in packets] == [512, 512, 276]
+    assert message.num_packets == 3
+    assert sum(p.size_bytes for p in packets) == 1300
+    # The 276-byte tail still needs 3 flits of 128 bytes.
+    assert packets[-1].num_flits == 3
+    assert all(p.app_id == 2 for p in packets)
+
+
+def test_message_completion_tracking():
+    message = Message(0, 1, 1024, create_time=10.0)
+    packets = message.segment(512, 128)
+    assert not message.complete
+    for packet in packets:
+        message.packets_received += 1
+    assert message.complete
+    message.deliver_time = 60.0
+    assert message.latency == pytest.approx(50.0)
+
+
+def test_invalid_messages_rejected():
+    with pytest.raises(ValueError):
+        Message(0, 0, 100)
+    with pytest.raises(ValueError):
+        Message(0, 1, 0)
+
+
+def test_packet_latency_requires_both_timestamps():
+    message = Message(0, 1, 100)
+    packet = message.segment(512, 128)[0]
+    assert packet.latency is None
+    packet.inject_time, packet.eject_time = 5.0, 30.0
+    assert packet.latency == pytest.approx(25.0)
+
+
+# ----------------------------------------------------------------- buffers
+def test_vc_buffer_fifo_and_capacity():
+    buffer = VcInputBuffer(num_vcs=2, capacity_packets=2)
+    message = Message(0, 1, 2048)
+    packets = message.segment(512, 128)
+    buffer.push(0, packets[0])
+    buffer.push(0, packets[1])
+    assert buffer.occupancy(0) == 2
+    assert not buffer.can_accept(0)
+    assert buffer.can_accept(1)
+    with pytest.raises(OverflowError):
+        buffer.push(0, packets[2])
+    assert buffer.pop(0) is packets[0]
+    assert buffer.head(0) is packets[1]
+    assert buffer.total_bytes == packets[1].size_bytes
+
+
+def test_credit_tracker_consume_release_cycle():
+    credits = CreditTracker(num_vcs=3, initial_credits=2)
+    assert credits.available(1) == 2
+    credits.consume(1)
+    credits.consume(1)
+    assert not credits.has_credit(1)
+    assert credits.used == 2
+    with pytest.raises(RuntimeError):
+        credits.consume(1)
+    credits.release(1)
+    assert credits.has_credit(1)
+    credits.release(1)
+    with pytest.raises(RuntimeError):
+        credits.release(1)
+
+
+# -------------------------------------------------------------------- link
+class _Sink:
+    """Minimal downstream/upstream stub used to test the link in isolation."""
+
+    def __init__(self):
+        self.received = []
+        self.freed = []
+        self.credits = []
+
+    def receive_packet(self, port, packet):
+        self.received.append((port, packet))
+
+    def link_free(self, port):
+        self.freed.append(port)
+
+    def credit_returned(self, port, vc):
+        self.credits.append((port, vc))
+
+
+def test_link_serialization_and_delivery_timing():
+    sim = Simulator()
+    src, dst = _Sink(), _Sink()
+    link = Link(sim, src, 3, dst, 1, LinkKind.LOCAL, bandwidth_bytes_per_ns=25.0,
+                latency_ns=30.0, flit_size=128, link_id=("R", 0, 3))
+    packet = Message(0, 1, 512).segment(512, 128)[0]
+    link.transmit(packet)
+    assert link.busy
+    with pytest.raises(RuntimeError):
+        link.transmit(packet)
+    sim.run()
+    # 512 B at 25 B/ns -> 20.48 ns serialization, then 30 ns propagation.
+    assert src.freed == [3]
+    assert dst.received == [(1, packet)]
+    assert sim.now == pytest.approx(20.48 + 30.0)
+    assert link.bytes_carried == 512
+    assert link.utilization(sim.now) == pytest.approx(20.48 / 50.48)
+
+
+def test_link_credit_return_takes_propagation_latency():
+    sim = Simulator()
+    src, dst = _Sink(), _Sink()
+    link = Link(sim, src, 0, dst, 0, LinkKind.GLOBAL, 25.0, 300.0, 128)
+    link.return_credit(4)
+    sim.run()
+    assert src.credits == [(0, 4)]
+    assert sim.now == pytest.approx(300.0)
+
+
+def test_link_rejects_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, _Sink(), 0, _Sink(), 0, LinkKind.LOCAL, 0.0, 30.0, 128)
+    with pytest.raises(ValueError):
+        Link(sim, _Sink(), 0, _Sink(), 0, LinkKind.LOCAL, 25.0, -1.0, 128)

@@ -1,0 +1,183 @@
+"""Unit tests of the routing algorithms (decision logic and Q-learning)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RoutingConfig, SimulationConfig, tiny_system
+from repro.core.engine import Simulator
+from repro.network.network import DragonflyNetwork
+from repro.network.packet import Message, PathClass
+from repro.routing import create_routing
+from repro.routing.qtable import QTable
+
+
+def _network(routing="minimal", **routing_kwargs):
+    config = SimulationConfig(system=tiny_system(), seed=1).with_routing(routing, **routing_kwargs)
+    return DragonflyNetwork(Simulator(), config)
+
+
+def _packet_between(network, src_node, dst_node, size=512):
+    message = Message(src_node, dst_node, size)
+    return message.segment(512, 128)[0]
+
+
+def test_create_routing_accepts_aliases_and_rejects_unknown():
+    network = _network()
+    rng = np.random.default_rng(0)
+    assert create_routing("Q-ADP", network, RoutingConfig(), rng).name == "q-adaptive"
+    assert create_routing("ugal", network, RoutingConfig(), rng).name == "ugal-g"
+    with pytest.raises(ValueError):
+        create_routing("ecmp", network, RoutingConfig(), rng)
+
+
+def test_minimal_port_follows_lgl_path():
+    network = _network("minimal")
+    topo = network.topology
+    routing = network.routing
+    # Destination in another group: the source router should head to the gateway.
+    src_router = network.routers[0]
+    dst_node = topo.num_nodes - 1
+    dst_group = topo.group_of_node(dst_node)
+    port = routing.minimal_port(src_router, dst_node)
+    gateway, gport = topo.gateway_router(src_router.group, dst_group)
+    if gateway == src_router.router_id:
+        assert port == gport
+    else:
+        assert topo.local_peer(src_router.router_id, port) == gateway
+
+
+def test_minimal_routing_marks_packets_minimal():
+    network = _network("minimal")
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    port, vc = network.routing.route(router, packet)
+    assert packet.path_class == PathClass.MINIMAL
+    assert vc == 1  # first router-to-router hop uses VC 1
+
+
+def test_valiant_routing_always_detours_inter_group_packets():
+    network = _network("valiant")
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    network.routing.route(router, packet)
+    assert packet.path_class == PathClass.NONMINIMAL
+    assert packet.intermediate_group not in (
+        network.topology.group_of_node(0),
+        network.topology.group_of_node(network.num_nodes - 1),
+    )
+
+
+def test_ugal_prefers_minimal_when_queues_are_empty():
+    network = _network("ugal-g", ugal_bias=0.0)
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    network.routing.route(router, packet)
+    # With zero occupancy everywhere the minimal path always wins.
+    assert packet.path_class == PathClass.MINIMAL
+
+
+def test_ugal_diverts_when_minimal_port_is_congested():
+    network = _network("ugal-g")
+    topo = network.topology
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    min_port = network.routing.minimal_port(router, packet.dst_node)
+    # Artificially exhaust the minimal port's credits to fake deep congestion.
+    credits = router.credits[min_port]
+    for vc in range(credits.num_vcs):
+        while credits.has_credit(vc):
+            credits.consume(vc)
+    network.routing.route(router, packet)
+    assert packet.path_class == PathClass.NONMINIMAL
+
+
+def test_ugal_n_assigns_intermediate_router():
+    network = _network("ugal-n")
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    min_port = network.routing.minimal_port(router, packet.dst_node)
+    credits = router.credits[min_port]
+    for vc in range(credits.num_vcs):
+        while credits.has_credit(vc):
+            credits.consume(vc)
+    network.routing.route(router, packet)
+    assert packet.path_class == PathClass.NONMINIMAL
+    assert packet.intermediate_router is not None
+    assert (
+        network.topology.group_of_router(packet.intermediate_router)
+        == packet.intermediate_group
+    )
+
+
+def test_par_revises_minimal_decision_in_source_group():
+    network = _network("par")
+    topo = network.topology
+    source_router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    network.routing.route(source_router, packet)
+    assert packet.path_class == PathClass.MINIMAL
+    assert not packet.minimal_decision_final
+    # The packet reaches the source-group gateway, which sees congestion.
+    dst_group = topo.group_of_node(packet.dst_node)
+    gateway_id, gateway_port = topo.gateway_router(0, dst_group)
+    gateway = network.routers[gateway_id]
+    credits = gateway.credits[gateway_port]
+    for vc in range(credits.num_vcs):
+        while credits.has_credit(vc):
+            credits.consume(vc)
+    packet.hop_count = 1
+    network.routing.route(gateway, packet)
+    assert packet.path_class == PathClass.NONMINIMAL
+    assert packet.minimal_decision_final
+
+
+def test_qtable_update_moves_towards_sample():
+    table = QTable(0, initializer=lambda port, dest: 100.0)
+    assert table.get(2, ("g", 1)) == pytest.approx(100.0)
+    value = table.update(2, ("g", 1), 200.0, learning_rate=0.5)
+    assert value == pytest.approx(150.0)
+    assert table.updates == 1
+    with pytest.raises(ValueError):
+        table.update(2, ("g", 1), -1.0, 0.5)
+    with pytest.raises(ValueError):
+        table.update(2, ("g", 1), 1.0, 0.0)
+
+
+def test_qtable_best_picks_lowest_score():
+    table = QTable(0, initializer=lambda port, dest: {1: 50.0, 2: 10.0}[port])
+    port, score = table.best([(1, 0.0), (2, 0.0)], ("g", 3))
+    assert port == 2 and score == pytest.approx(10.0)
+    port, _ = table.best([(1, 0.0), (2, 100.0)], ("g", 3))
+    assert port == 1
+    with pytest.raises(ValueError):
+        table.best([], ("g", 3))
+
+
+def test_qadaptive_learns_from_feedback_during_traffic():
+    config = SimulationConfig(system=tiny_system(), seed=2).with_routing("q-adaptive")
+    sim = Simulator()
+    network = DragonflyNetwork(sim, config)
+    rng = np.random.default_rng(1)
+    for _ in range(150):
+        src, dst = rng.integers(network.num_nodes, size=2)
+        if src == dst:
+            continue
+        network.send_message(Message(int(src), int(dst), 2048, create_time=sim.now))
+    sim.run()
+    routing = network.routing
+    assert routing.feedback_count > 0
+    assert routing.total_table_entries() > 0
+    # Learned estimates must stay finite and non-negative.
+    for table in routing._tables.values():
+        for value in table.snapshot().values():
+            assert np.isfinite(value) and value >= 0
+
+
+def test_qadaptive_exploration_rate_respected():
+    network = _network("q-adaptive", q_exploration=0.0)
+    router = network.routers[0]
+    packet = _packet_between(network, 0, network.num_nodes - 1)
+    network.routing.route(router, packet)
+    # With empty queues and optimistic-but-accurate initial estimates the
+    # greedy choice is the minimal path.
+    assert packet.path_class == PathClass.MINIMAL

@@ -1,0 +1,175 @@
+"""Tests of the nine applications: structure, metrics and end-to-end runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimulationConfig, tiny_system
+from repro.core.engine import Simulator
+from repro.experiments.configs import AppSpec
+from repro.experiments.runner import run_workloads
+from repro.mpi.engine import MpiEngine
+from repro.network.network import DragonflyNetwork
+from repro.workloads import (
+    APPLICATIONS,
+    FFT3D,
+    LQCD,
+    LU,
+    LULESH,
+    Halo3D,
+    Stencil5D,
+    UniformRandom,
+    balanced_grid,
+    create_application,
+    grid_coords,
+    grid_rank,
+)
+
+ALL_APPS = sorted(APPLICATIONS)
+
+
+# -------------------------------------------------------------- grid helpers
+@settings(max_examples=50, deadline=None)
+@given(
+    num_ranks=st.integers(min_value=1, max_value=600),
+    dims=st.integers(min_value=1, max_value=5),
+)
+def test_property_balanced_grid_covers_all_ranks(num_ranks, dims):
+    shape = balanced_grid(num_ranks, dims)
+    assert len(shape) == dims
+    assert int(np.prod(shape)) == num_ranks
+    assert all(extent >= 1 for extent in shape)
+    assert shape == sorted(shape, reverse=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_property_grid_coords_round_trip(data):
+    dims = data.draw(st.integers(min_value=1, max_value=4))
+    shape = [data.draw(st.integers(min_value=1, max_value=5)) for _ in range(dims)]
+    total = int(np.prod(shape))
+    rank = data.draw(st.integers(min_value=0, max_value=total - 1))
+    assert grid_rank(grid_coords(rank, shape), shape) == rank
+
+
+# ---------------------------------------------------------------- factories
+def test_registry_creates_every_application():
+    for name in ALL_APPS:
+        app = create_application(name, 8)
+        assert app.num_ranks == 8
+        assert app.peak_ingress_bytes() > 0
+        assert app.message_volume_per_rank() > 0
+        assert app.describe()["name"] == app.name
+
+
+def test_registry_is_case_insensitive_and_validates():
+    assert create_application("halo3d", 8).name == "Halo3D"
+    with pytest.raises(ValueError):
+        create_application("NotAnApp", 8)
+    with pytest.raises(ValueError):
+        create_application("UR", 0)
+
+
+def test_scale_factor_multiplies_message_sizes():
+    base = create_application("Halo3D", 27)
+    doubled = create_application("Halo3D", 27, scale=2.0)
+    assert doubled.peak_ingress_bytes() == pytest.approx(2 * base.peak_ingress_bytes(), rel=0.01)
+
+
+# ----------------------------------------------------------- pattern checks
+def test_stencil_neighbor_structure_is_symmetric():
+    app = Halo3D(27)
+    assert app.shape == [3, 3, 3]
+    for rank in range(app.num_ranks):
+        for neighbor, dim, direction in app.neighbors_of(rank):
+            reverse = [(n, d, s) for n, d, s in app.neighbors_of(neighbor) if n == rank]
+            assert reverse, f"neighbor relation {rank}->{neighbor} not symmetric"
+
+
+def test_stencil_peak_counts_actual_neighbors():
+    app = LQCD(16)  # 2x2x2x2 grid: one neighbour per dimension
+    assert app.max_neighbors() == 4
+    assert app.peak_ingress_bytes() == 4 * app.scaled(app.message_bytes)
+    large = Stencil5D(32)  # 2^5 grid
+    assert large.max_neighbors() == 5
+
+
+def test_lu_wavefront_has_corner_sources_and_sinks():
+    app = LU(25)
+    assert app.shape == [5, 5]
+    upstream_0, downstream_0 = app._neighbors(0)
+    assert upstream_0 == [] and len(downstream_0) == 2
+    upstream_last, downstream_last = app._neighbors(24)
+    assert len(upstream_last) == 2 and downstream_last == []
+
+
+def test_fft3d_groups_partition_the_rank_space():
+    app = FFT3D(24)
+    rows, cols = app.shape
+    seen = set()
+    for rank in range(app.num_ranks):
+        row = app._row_group(rank)
+        col = app._col_group(rank)
+        assert rank in row and rank in col
+        assert len(row) == cols and len(col) == rows
+        seen.update(row)
+    assert seen == set(range(app.num_ranks))
+
+
+def test_lulesh_has_face_edge_corner_neighbors():
+    app = LULESH(27)
+    kinds = {kind for _, kind, _ in app._stencil_neighbors(13)}  # centre rank of 3x3x3
+    assert kinds == {"face", "edge", "corner"}
+    assert len(app._stencil_neighbors(13)) == 26
+
+
+def test_uniform_random_permutation_is_shared_and_uniform():
+    app = UniformRandom(16, seed=3)
+    perm_a = app._permutation(5)
+    perm_b = app._permutation(5)
+    assert np.array_equal(perm_a, perm_b)
+    assert sorted(perm_a.tolist()) == list(range(16))
+    assert not np.array_equal(app._permutation(5), app._permutation(6))
+
+
+def test_intensity_ordering_of_analytic_peaks():
+    """The Table I peak-ingress ordering must hold for the bench rank counts."""
+    from repro.experiments.configs import BENCH_RANKS
+
+    peaks = {
+        name: create_application(name, BENCH_RANKS[name]).peak_ingress_bytes()
+        for name in ALL_APPS
+    }
+    assert peaks["Stencil5D"] == max(peaks.values())
+    assert peaks["UR"] == min(peaks.values())
+    assert peaks["LQCD"] > peaks["DL"] > peaks["CosmoFlow"] > peaks["LULESH"]
+    assert peaks["LULESH"] > peaks["Halo3D"] > peaks["FFT3D"] > peaks["LU"] > peaks["UR"]
+
+
+# --------------------------------------------------------------- end-to-end
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_every_application_runs_to_completion(name):
+    """Each application, at tiny scale, must run and send its analytic volume."""
+    config = SimulationConfig(system=tiny_system(), seed=2).with_routing("par")
+    spec = AppSpec(name, 8, {"scale": 0.2, "seed": 1})
+    result = run_workloads(config, [spec])
+    record = result.record(name)
+    assert result.completed
+    assert record.finished
+    assert record.total_bytes_sent > 0
+    assert record.mean_comm_time > 0
+    assert result.network.quiescent()
+    # Iteration records were produced by every rank.
+    assert len(record.iterations) >= record.num_ranks
+
+
+def test_application_volume_close_to_analytic_estimate():
+    config = SimulationConfig(system=tiny_system(), seed=2).with_routing("par")
+    spec = AppSpec("Halo3D", 8, {"scale": 0.25})
+    result = run_workloads(config, [spec])
+    app = result.application("Halo3D")
+    measured = result.record("Halo3D").total_bytes_sent
+    # The analytic estimate assumes interior ranks everywhere, so it is an
+    # upper bound; measured volume must be within it but the same order.
+    assert measured <= app.total_message_volume() * 1.05
+    assert measured >= 0.3 * app.total_message_volume()
