@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
+from pathlib import Path
+
+import pytest
 
 from repro.analysis.mixed import MixedResult, mixed_study
 from repro.analysis.pairwise import PairwiseResult, pairwise_study
@@ -27,6 +30,15 @@ FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 #: Seed shared by every benchmark run (placements are identical across
 #: routings, as in the paper's methodology).
 BENCH_SEED = 7
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every test in this directory `bench` so tier-1 can deselect them."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @lru_cache(maxsize=None)

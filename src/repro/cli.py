@@ -1,17 +1,20 @@
 """Command-line interface: ``dragonfly-sim``.
 
-Three subcommands cover the study's workflows:
+Four subcommands cover the study's workflows:
 
 * ``table1``   — run every application standalone and print the Table I rows;
 * ``pairwise`` — co-run a target and a background application under one or
   more routing algorithms and print the interference summary (Fig. 4 rows);
 * ``mixed``    — run the Table II mixed workload and print per-application
-  interference plus the system-wide congestion metrics (Figs 10-13).
+  interference plus the system-wide congestion metrics (Figs 10-13);
+* ``sweep``    — fan a (routing × placement × workload × seed) grid across
+  worker processes with on-disk result caching (see docs/sweep.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -53,6 +56,37 @@ def build_parser() -> argparse.ArgumentParser:
     mixed = sub.add_parser("mixed", help="mixed-workload study (Figs 10-13)")
     mixed.add_argument(
         "--routings", nargs="+", default=["par", "q-adaptive"], help="routing algorithms"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel (routing x placement x workload x seed) grid"
+    )
+    sweep.add_argument(
+        "--workloads", nargs="+", default=["FFT3D", "Halo3D"],
+        help="applications to sweep (see repro.workloads)",
+    )
+    sweep.add_argument(
+        "--routings", nargs="+", default=list(ROUTINGS), help="routing algorithms"
+    )
+    sweep.add_argument(
+        "--placements", nargs="+", default=["random"],
+        help="placement policies (random, contiguous)",
+    )
+    sweep.add_argument(
+        "--seeds", nargs="+", type=int, default=None,
+        help="experiment seeds (default: the global --seed)",
+    )
+    sweep.add_argument(
+        "--system", default="small", choices=["tiny", "small", "paper"],
+        help="system shape (default: the 72-node bench system)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="worker processes (default: all cores)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=".sweep-cache",
+        help="result cache directory ('' disables caching)",
     )
     return parser
 
@@ -104,6 +138,44 @@ def _run_mixed(args) -> int:
     return 0
 
 
+def _run_sweep(args) -> int:
+    from repro.experiments.sweep import build_grid, run_sweep
+
+    grid = build_grid(
+        workloads=args.workloads,
+        routings=args.routings,
+        placements=args.placements,
+        seeds=args.seeds if args.seeds is not None else [args.seed],
+        scale=args.scale,
+        system=args.system,
+    )
+
+    def progress(done, total, result):
+        origin = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
+        print(
+            f"[{done}/{total}] {result.point.workload} {result.point.routing} "
+            f"{result.point.placement} seed={result.point.seed} ({origin})",
+            file=sys.stderr,
+        )
+
+    results = run_sweep(
+        grid,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+        progress=progress,
+    )
+    print(
+        format_table(
+            [r.as_row() for r in results],
+            [
+                "workload", "routing", "placement", "seed",
+                "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached",
+            ],
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -113,6 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_pairwise(args)
     if args.command == "mixed":
         return _run_mixed(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -7,11 +7,10 @@ other event-driven substrates.
 """
 
 from repro.core.engine import EventHandle, Simulator
-from repro.core.events import Event, EventKind
+from repro.core.events import EventKind
 from repro.core.rng import RngRegistry, component_seed
 
 __all__ = [
-    "Event",
     "EventHandle",
     "EventKind",
     "RngRegistry",

@@ -9,16 +9,26 @@ nanoseconds (floats).  Determinism guarantees:
 The engine is deliberately minimal: components schedule callbacks, the engine
 fires them.  There is no process abstraction — higher layers (the MPI engine,
 NICs, routers) implement their own state machines on top of callbacks.
+
+Implementation note: the calendar holds plain ``[time, seq, callback, args,
+kind]`` lists rather than event objects.  Heap ordering compares ``time`` then
+``seq`` (which is unique, so comparison never reaches the callback), and
+cancellation nulls out the callback slot in place.  This keeps the per-event
+cost of the hot loop — millions of heap pushes/pops per run — to plain list
+indexing instead of dataclass construction and ``__lt__`` dispatch.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
-from repro.core.events import Event, EventKind
+from repro.core.events import EventKind
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+#: Calendar entry layout: [time, seq, callback, args, kind].
+_TIME, _SEQ, _CALLBACK, _ARGS, _KIND = range(5)
 
 
 class SimulationError(RuntimeError):
@@ -31,24 +41,24 @@ class EventHandle:
     Holding the handle allows the caller to cancel the event before it fires.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: Event):
-        self._event = event
+    def __init__(self, entry: list):
+        self._entry = entry
 
     @property
     def time(self) -> float:
         """Scheduled firing time in nanoseconds."""
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called on this handle."""
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
 
 
 class Simulator:
@@ -63,12 +73,13 @@ class Simulator:
     """
 
     def __init__(self, trace: bool = False):
-        self._heap: list[Event] = []
+        self._heap: List[list] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._fired: int = 0
         self._running = False
         self._stopped = False
+        self._idled_from: Optional[float] = None
         self.trace = trace
         self.trace_log: list[tuple[float, EventKind, str]] = []
 
@@ -77,6 +88,18 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in nanoseconds."""
         return self._now
+
+    @property
+    def last_event_time(self) -> float:
+        """Time of the most recently fired event.
+
+        Equals :attr:`now` except after a ``run(until=...)`` whose calendar
+        drained early, where :attr:`now` idled forward to ``until`` while the
+        last event fired earlier.  Callers that use ``until`` as a watchdog
+        cutoff (rather than a simulation window) should report this as the
+        completion time.
+        """
+        return self._idled_from if self._idled_from is not None else self._now
 
     @property
     def events_fired(self) -> int:
@@ -103,7 +126,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, kind=kind)
+        entry = [self._now + delay, self._seq, callback, args, kind]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def schedule_at(
         self,
@@ -117,10 +143,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
-        event = Event(time=float(time), seq=self._seq, callback=callback, args=args, kind=kind)
+        entry = [float(time), self._seq, callback, args, kind]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
 
     # -------------------------------------------------------------- execution
     def step(self) -> bool:
@@ -129,15 +155,18 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the calendar was
         empty (cancelled events are skipped transparently).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
+            self._idled_from = None
             if self.trace:
-                name = getattr(event.callback, "__qualname__", repr(event.callback))
-                self.trace_log.append((event.time, event.kind, name))
-            event.fire()
+                name = getattr(callback, "__qualname__", repr(callback))
+                self.trace_log.append((entry[_TIME], entry[_KIND], name))
+            callback(*entry[_ARGS])
             self._fired += 1
             return True
         return False
@@ -151,21 +180,51 @@ class Simulator:
 
         Returns the simulated time at which the run stopped.  ``until`` is an
         absolute time; events scheduled exactly at ``until`` still fire.
+
+        ``until`` semantics: the clock always reaches ``until`` unless the run
+        was cut short by :meth:`stop` or ``max_events``.  In particular, when
+        the calendar drains *before* ``until`` the clock still advances to
+        ``until`` — the system simply sat idle for the remainder — so
+        ``run(until=t)`` post-condition ``now == t`` holds whether or not any
+        event fired near the bound.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
+        self._idled_from = None
         fired_this_run = 0
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self.trace
         try:
-            while self._heap and not self._stopped:
-                if until is not None and self._heap[0].time > until:
+            while heap and not self._stopped:
+                if until is not None and heap[0][_TIME] > until:
                     self._now = until
                     break
                 if max_events is not None and fired_this_run >= max_events:
                     break
-                if self.step():
-                    fired_this_run += 1
+                entry = pop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    continue
+                self._now = entry[_TIME]
+                if trace:
+                    name = getattr(callback, "__qualname__", repr(callback))
+                    self.trace_log.append((entry[_TIME], entry[_KIND], name))
+                callback(*entry[_ARGS])
+                self._fired += 1
+                fired_this_run += 1
+            if (
+                until is not None
+                and not heap
+                and not self._stopped
+                and self._now < until
+            ):
+                # Calendar drained before the bound: idle out to `until`,
+                # remembering where the last event actually fired.
+                self._idled_from = self._now
+                self._now = until
         finally:
             self._running = False
         return self._now

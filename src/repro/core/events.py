@@ -1,15 +1,14 @@
-"""Event records used by the discrete-event engine.
+"""Event kinds used by the discrete-event engine.
 
-Events are lightweight records tying a firing time to a callback.  The
-:class:`EventKind` enumeration is used purely for observability (tracing and
-debugging); the engine itself treats all events identically.
+The :class:`EventKind` enumeration is used purely for observability (tracing
+and debugging); the engine itself treats all events identically.  Calendar
+entries are plain ``[time, seq, callback, args, kind]`` lists — see
+:mod:`repro.core.engine` for the layout and ordering rules.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable
 
 
 class EventKind(enum.IntEnum):
@@ -32,40 +31,3 @@ class EventKind(enum.IntEnum):
     ROUTING_FEEDBACK = 7
     #: Statistics sampling tick.
     STATS_SAMPLE = 8
-
-
-@dataclass(order=False)
-class Event:
-    """A single scheduled event.
-
-    Attributes
-    ----------
-    time:
-        Simulated firing time in nanoseconds.
-    seq:
-        Monotonic tie-breaker so events scheduled at the same time fire in
-        FIFO order (required for determinism).
-    callback:
-        Callable invoked when the event fires.
-    args:
-        Positional arguments passed to ``callback``.
-    kind:
-        Category used by tracing.
-    cancelled:
-        Lazily-cancelled events stay in the heap but are skipped when popped.
-    """
-
-    time: float
-    seq: int
-    callback: Callable[..., None]
-    args: tuple[Any, ...] = field(default_factory=tuple)
-    kind: EventKind = EventKind.GENERIC
-    cancelled: bool = False
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def fire(self) -> None:
-        """Invoke the callback unless the event has been cancelled."""
-        if not self.cancelled:
-            self.callback(*self.args)

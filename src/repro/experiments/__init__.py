@@ -3,7 +3,9 @@
 :mod:`repro.experiments.configs` defines the paper-scale and benchmark-scale
 system/application configurations (including the Table II mixed workload);
 :mod:`repro.experiments.runner` builds a full simulator stack from an
-application list and runs it to completion.
+application list and runs it to completion;
+:mod:`repro.experiments.sweep` fans configuration grids across worker
+processes with on-disk result caching.
 """
 
 from repro.experiments.configs import (

@@ -50,8 +50,13 @@ class RunResult:
 
     @property
     def makespan_ns(self) -> float:
-        """Simulated time when the run stopped."""
-        return self.sim.now
+        """Simulated time when the run finished.
+
+        For completed runs this is the time of the last event, so a
+        ``max_time_ns`` watchdog that never triggered does not inflate the
+        makespan (``run(until=...)`` idles the clock out to the bound).
+        """
+        return self.sim.last_event_time if self.completed else self.sim.now
 
     def summary(self) -> dict:
         """Coarse run summary (used by reports and tests)."""

@@ -1,0 +1,303 @@
+"""Parallel experiment sweeps with cached, seed-deterministic results.
+
+A *sweep* fans a grid of ``(routing, placement, workload, seed)`` simulation
+configurations across :mod:`multiprocessing` workers.  Every point is reduced
+to a JSON-serializable metrics dict, and results are cached on disk keyed by
+a hash of the point's configuration, so re-running a sweep only simulates the
+points whose configuration changed.
+
+Design notes:
+
+* every worker builds its own simulator stack from the plain
+  :class:`SweepPoint` description — nothing simulation-scoped crosses the
+  process boundary, so results are bit-identical whether a point runs in the
+  parent process (``workers=1``) or in a pool;
+* the cache key covers every field that influences the simulation plus a
+  ``CACHE_VERSION`` bumped whenever the simulator's numeric behaviour
+  changes;
+* cache files are written atomically (tmp file + rename) so a crashed or
+  parallel sweep never leaves a truncated JSON behind.
+
+Used by the ``dragonfly-sim sweep`` CLI subcommand and
+``examples/sweep_grid.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SimulationConfig, paper_system, small_system, tiny_system
+
+__all__ = [
+    "CACHE_VERSION",
+    "SweepPoint",
+    "SweepResult",
+    "build_grid",
+    "point_hash",
+    "run_sweep",
+]
+
+#: Bump when simulator changes alter numeric results, invalidating old caches.
+CACHE_VERSION = 1
+
+_SYSTEMS = {
+    "tiny": tiny_system,
+    "small": small_system,
+    "paper": paper_system,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid: a fully-specified simulation configuration."""
+
+    workload: str
+    routing: str = "par"
+    placement: str = "random"
+    seed: int = 1
+    scale: float = 1.0
+    ranks: Optional[int] = None
+    #: System shape name: "tiny" (36 nodes), "small" (72), "paper" (1,056).
+    system: str = "small"
+    #: Link bandwidth override in Gb/s (None = the bench default).
+    link_bandwidth_gbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Validate every axis up front: a bad point must fail at grid-build
+        # time, not as a pickled traceback out of a mid-sweep worker.
+        if self.system not in _SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; choose from {sorted(_SYSTEMS)}"
+            )
+        from repro.experiments.configs import BENCH_RANKS
+        from repro.placement import PLACEMENTS
+        from repro.routing import resolve_algorithm
+
+        if self.workload not in BENCH_RANKS:
+            raise ValueError(
+                f"unknown application {self.workload!r}; choose from {sorted(BENCH_RANKS)}"
+            )
+        # Canonicalize aliases ("ugal" -> "ugal-g") so equivalent points share
+        # one cache entry; the frozen dataclass requires object.__setattr__.
+        object.__setattr__(self, "routing", resolve_algorithm(self.routing))
+        placement = self.placement.strip().lower()
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; choose from {list(PLACEMENTS)}"
+            )
+        object.__setattr__(self, "placement", placement)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (cache key material and report rows)."""
+        return asdict(self)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep point.
+
+    ``metrics`` holds only simulation-determined values — two runs of the
+    same point produce identical ``metrics`` regardless of worker count —
+    while ``wall_seconds`` and ``cached`` describe this particular execution.
+    """
+
+    point: SweepPoint
+    metrics: Dict[str, float]
+    wall_seconds: float
+    cached: bool = False
+
+    def as_row(self) -> dict:
+        """Flat dict row for tabular reports."""
+        row = self.point.as_dict()
+        if row.get("link_bandwidth_gbps") is None:
+            # Drop the column only when it carries no information; a grid
+            # that sweeps bandwidth needs it to tell its rows apart.
+            row.pop("link_bandwidth_gbps", None)
+        row.update(self.metrics)
+        row["cached"] = self.cached
+        return row
+
+
+def point_hash(point: SweepPoint) -> str:
+    """Stable cache key of a sweep point (sha256 over canonical JSON).
+
+    The key covers the point fields *and* the fully-resolved
+    :class:`SimulationConfig` they expand to, so a change to a named system
+    shape, the default bench bandwidth or a routing hyperparameter default
+    invalidates old entries without a manual ``CACHE_VERSION`` bump.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        **point.as_dict(),
+        "resolved_config": asdict(_build_config(point)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def build_grid(
+    workloads: Sequence[str],
+    routings: Sequence[str],
+    placements: Sequence[str] = ("random",),
+    seeds: Sequence[int] = (1,),
+    **common,
+) -> List[SweepPoint]:
+    """Cartesian product of the axes as a list of :class:`SweepPoint`.
+
+    ``common`` keyword arguments (``scale``, ``system``, ``ranks``…) are
+    applied to every point.
+    """
+    return [
+        SweepPoint(
+            workload=workload, routing=routing, placement=placement, seed=seed, **common
+        )
+        for workload, routing, placement, seed in itertools.product(
+            workloads, routings, placements, seeds
+        )
+    ]
+
+
+# ---------------------------------------------------------------- execution
+def _build_config(point: SweepPoint) -> SimulationConfig:
+    """Simulation configuration for one point (importable, hence picklable)."""
+    from repro.experiments.configs import BENCH_LINK_BANDWIDTH_GBPS
+
+    bandwidth = (
+        point.link_bandwidth_gbps
+        if point.link_bandwidth_gbps is not None
+        else BENCH_LINK_BANDWIDTH_GBPS
+    )
+    system = _SYSTEMS[point.system]().scaled(link_bandwidth_gbps=bandwidth)
+    config = SimulationConfig(system=system, seed=point.seed, record_packets=True)
+    return config.with_routing(point.routing)
+
+
+def _run_point(point: SweepPoint) -> SweepResult:
+    """Simulate one point and reduce it to JSON-serializable metrics."""
+    from repro.experiments.configs import bench_spec
+    from repro.experiments.runner import run_workloads
+
+    config = _build_config(point)
+    spec = bench_spec(point.workload, num_ranks=point.ranks, scale=point.scale)
+    result = run_workloads(config, [spec], placement=point.placement)
+
+    record = result.record(point.workload)
+    stats = result.stats
+    metrics = {
+        "makespan_ns": float(result.makespan_ns),
+        "events_fired": int(result.sim.events_fired),
+        "mean_comm_time_ns": float(record.mean_comm_time),
+        "packets_injected": int(stats.total_packets_injected),
+        "packets_ejected": int(stats.total_packets_ejected),
+        "bytes_ejected": int(stats.total_bytes_ejected),
+        "total_port_stall_ns": float(stats.port_stall.total()),
+    }
+    return SweepResult(point=point, metrics=metrics, wall_seconds=result.wall_seconds)
+
+
+def _load_cached(path: Path, point: SweepPoint) -> Optional[SweepResult]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("point") != point.as_dict():
+        # Hash collision or stale layout: re-run rather than trust it.
+        return None
+    return SweepResult(
+        point=point,
+        metrics=payload["metrics"],
+        wall_seconds=float(payload.get("wall_seconds", 0.0)),
+        cached=True,
+    )
+
+
+def _store_cached(path: Path, result: SweepResult) -> None:
+    payload = {
+        "version": CACHE_VERSION,
+        "point": result.point.as_dict(),
+        "metrics": result.metrics,
+        "wall_seconds": result.wall_seconds,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress=None,
+) -> List[SweepResult]:
+    """Run every point of a sweep, in parallel, with optional result caching.
+
+    Parameters
+    ----------
+    points:
+        The grid (see :func:`build_grid`).  Results come back in input order.
+    workers:
+        Worker processes for the uncached points.  ``1`` runs everything in
+        this process (bit-identical to the parallel path — see module notes).
+    cache_dir:
+        Directory of ``<hash>.json`` result files.  ``None`` disables caching.
+    progress:
+        Optional callable invoked as ``progress(done, total, result)`` after
+        every completed point.
+    """
+    points = list(points)
+    results: List[Optional[SweepResult]] = [None] * len(points)
+    cache = Path(cache_dir) if cache_dir is not None else None
+
+    pending: List[int] = []
+    done = 0
+    for index, point in enumerate(points):
+        if cache is not None:
+            cached = _load_cached(cache / f"{point_hash(point)}.json", point)
+            if cached is not None:
+                results[index] = cached
+                done += 1
+                if progress is not None:
+                    progress(done, len(points), cached)
+                continue
+        pending.append(index)
+
+    if pending:
+        workers = max(1, min(workers, len(pending), os.cpu_count() or 1))
+        if workers == 1:
+            fresh = map(_run_point, (points[i] for i in pending))
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if cache is not None:
+                    _store_cached(cache / f"{point_hash(result.point)}.json", result)
+                done += 1
+                if progress is not None:
+                    progress(done, len(points), result)
+        else:
+            with Pool(processes=workers) as pool:
+                iterator = pool.imap(_run_point, [points[i] for i in pending])
+                for index, result in zip(pending, iterator):
+                    results[index] = result
+                    if cache is not None:
+                        _store_cached(cache / f"{point_hash(result.point)}.json", result)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(points), result)
+
+    return [result for result in results if result is not None]

@@ -63,7 +63,9 @@ def congestion_index_matrix(network: DragonflyNetwork, elapsed_ns: float | None 
     """
     topo = network.topology
     if elapsed_ns is None:
-        elapsed_ns = network.sim.now
+        # Last event, not `now`: a drained run(until=...) idles the clock
+        # forward without carrying traffic, which would dilute utilization.
+        elapsed_ns = network.sim.last_event_time
     if elapsed_ns <= 0:
         return np.zeros((topo.num_groups, topo.num_groups))
     capacity = network.config.system.link_bandwidth_bytes_per_ns * elapsed_ns

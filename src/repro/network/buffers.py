@@ -84,12 +84,13 @@ class VcInputBuffer:
 class CreditTracker:
     """Per-output-port credit counters (one per VC on the downstream buffer)."""
 
-    __slots__ = ("num_vcs", "initial", "_credits")
+    __slots__ = ("num_vcs", "initial", "_credits", "_used")
 
     def __init__(self, num_vcs: int, initial_credits: int):
         self.num_vcs = num_vcs
         self.initial = initial_credits
         self._credits = [initial_credits] * num_vcs
+        self._used = 0
 
     def available(self, vc: int) -> int:
         """Remaining credits for VC ``vc``."""
@@ -104,6 +105,7 @@ class CreditTracker:
         if self._credits[vc] <= 0:
             raise RuntimeError(f"credit underflow on VC {vc}")
         self._credits[vc] -= 1
+        self._used += 1
 
     def release(self, vc: int) -> None:
         """Return one credit.  Raises if this would exceed the buffer depth."""
@@ -113,6 +115,7 @@ class CreditTracker:
                 "downstream buffer can hold"
             )
         self._credits[vc] += 1
+        self._used -= 1
 
     @property
     def used(self) -> int:
@@ -120,9 +123,10 @@ class CreditTracker:
 
         This equals the number of packets occupying (or in flight towards) the
         downstream input buffer and is the congestion signal used by adaptive
-        routing.
+        routing.  Maintained incrementally — adaptive routing reads it for
+        every candidate port of every routed packet.
         """
-        return sum(self.initial - c for c in self._credits)
+        return self._used
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CreditTracker(initial={self.initial}, credits={self._credits})"

@@ -21,6 +21,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Link", "LinkKind"]
 
+# Bound once: transmit() runs for every packet on every hop.
+_SERIALIZED = EventKind.LINK_SERIALIZED
+_DELIVERY = EventKind.LINK_DELIVERY
+_CREDIT = EventKind.CREDIT_RETURN
+
 
 class LinkKind(enum.IntEnum):
     """Physical class of a link, used for latency selection and statistics."""
@@ -126,8 +131,9 @@ class Link:
         self.packets_carried += 1
         if self.stats is not None:
             self.stats.record_link_traffic(self, packet)
-        self.sim.schedule(ser, self._serialization_done, kind=EventKind.LINK_SERIALIZED)
-        self.sim.schedule(ser + self.latency, self._deliver, packet, kind=EventKind.LINK_DELIVERY)
+        schedule = self.sim.schedule
+        schedule(ser, self._serialization_done, kind=_SERIALIZED)
+        schedule(ser + self.latency, self._deliver, packet, kind=_DELIVERY)
 
     def _serialization_done(self) -> None:
         self.busy = False
@@ -140,7 +146,7 @@ class Link:
     def return_credit(self, vc: int) -> None:
         """Send one credit back to the upstream entity (takes ``latency`` ns)."""
         self.sim.schedule(
-            self.latency, self.src.credit_returned, self.src_port, vc, kind=EventKind.CREDIT_RETURN
+            self.latency, self.src.credit_returned, self.src_port, vc, kind=_CREDIT
         )
 
     # ------------------------------------------------------------------ misc

@@ -65,6 +65,9 @@ class Router:
         "credits",
         "out_requests",
         "packets_forwarded",
+        "_router_of_node",
+        "_terminal_port_of_node",
+        "_serialization_ns",
     )
 
     def __init__(
@@ -87,6 +90,11 @@ class Router:
         system = config.system
         self.num_ports = topology.ports_per_router
         self.num_vcs = system.num_vcs
+        # Hot-path lookups bound once: per-packet routing indexes these
+        # directly instead of going through the checked topology methods.
+        self._router_of_node = topology.router_of_node_table
+        self._terminal_port_of_node = topology.terminal_port_of_node_table
+        self._serialization_ns = system.packet_serialization_ns
 
         self.in_buffers: List[VcInputBuffer] = [
             VcInputBuffer(self.num_vcs, system.buffer_packets) for _ in range(self.num_ports)
@@ -131,7 +139,7 @@ class Router:
 
     def queue_delay_estimate(self, port: int) -> float:
         """Estimated queueing delay (ns) a packet would see at ``port``."""
-        return self.output_occupancy(port) * self.config.system.packet_serialization_ns
+        return self.output_occupancy(port) * self._serialization_ns
 
     # ------------------------------------------------------------- receive
     def receive_packet(self, in_port: int, packet: Packet) -> None:
@@ -151,9 +159,9 @@ class Router:
         """Compute the output port for the new head packet of (in_port, vc)."""
         packet = self.in_buffers[in_port].head(vc)
         assert packet is not None, "route_head called on empty queue"
-        dst_router = self.topology.router_of_node(packet.dst_node)
+        dst_router = self._router_of_node[packet.dst_node]
         if dst_router == self.router_id:
-            out_port = self.topology.terminal_port_of_node(packet.dst_node)
+            out_port = self._terminal_port_of_node[packet.dst_node]
             next_vc = 0
         else:
             # Note: sending a packet back out of the port it arrived on is
@@ -193,7 +201,10 @@ class Router:
         assert popped is packet
         self.credits[out_port].consume(packet.next_vc)
 
-        stall = self.sim.now - (packet.request_time or self.sim.now)
+        # request_time == 0.0 is a legitimate timestamp (packets routed at
+        # t=0), so test against None rather than falsiness.
+        request_time = packet.request_time
+        stall = self.sim.now - request_time if request_time is not None else 0.0
         if self.stats is not None:
             self.stats.record_port_stall(self, out_port, stall, packet.app_id)
             self.stats.record_hop(self, in_port, out_port, packet)

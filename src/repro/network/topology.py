@@ -22,7 +22,7 @@ gets exactly one link.
 from __future__ import annotations
 
 import enum
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.config import SystemConfig
 
@@ -67,8 +67,15 @@ class Endpoint:
 class DragonflyTopology:
     """Static description of a Dragonfly interconnect.
 
-    All lookups are O(1) arithmetic; nothing is stored per node or per router,
-    so the object is cheap even for the full 1,056-node system.
+    All lookups are O(1).  In addition to the arithmetic helpers, the
+    constructor precomputes flat lookup tables for every per-packet query on
+    the simulation hot path (``router_of_node``, ``group_of_router``, the
+    minimal first-hop port per ``(router, dst_router)``, the port towards any
+    group, and the gateway per group pair).  Routers and routing algorithms
+    index these tables directly instead of re-deriving the wiring arithmetic
+    for every packet; the public methods keep their range validation and now
+    read from the same tables.  Even the full 1,056-node system needs well
+    under a megabyte of table space.
     """
 
     def __init__(self, config: SystemConfig):
@@ -84,6 +91,86 @@ class DragonflyTopology:
         self._first_local_port = p
         self._first_global_port = p + a - 1
         self._ports_per_router = p + (a - 1) + h
+        self._build_tables()
+
+    # ------------------------------------------------------------ flat tables
+    def _build_tables(self) -> None:
+        """Precompute the per-packet lookup tables used by the hot path."""
+        p, a, h = self.nodes_per_router, self.routers_per_group, self.global_per_router
+        num_r, num_n, num_g = self.num_routers, self.num_nodes, self.num_groups
+        first_local, first_global = self._first_local_port, self._first_global_port
+
+        #: node id -> hosting router id.
+        self.router_of_node_table: List[int] = [n // p for n in range(num_n)]
+        #: node id -> terminal port on its router.
+        self.terminal_port_of_node_table: List[int] = [n % p for n in range(num_n)]
+        #: router id -> group id.
+        self.group_of_router_table: List[int] = [r // a for r in range(num_r)]
+        #: node id -> group id.
+        self.group_of_node_table: List[int] = [
+            self.group_of_router_table[r] for r in self.router_of_node_table
+        ]
+        #: port index -> PortKind.
+        self.port_kind_table: List[PortKind] = [
+            PortKind.TERMINAL if port < first_local
+            else PortKind.LOCAL if port < first_global
+            else PortKind.GLOBAL
+            for port in range(self._ports_per_router)
+        ]
+        latencies = (
+            self.config.terminal_latency_ns,
+            self.config.local_latency_ns,
+            self.config.global_latency_ns,
+        )
+        #: port index -> propagation latency of the attached link (ns).
+        self.link_latency_table: List[float] = [
+            latencies[kind] for kind in self.port_kind_table
+        ]
+
+        #: (group, dst_group) -> (gateway router, global port); None on the diagonal.
+        self.gateway_table: List[List[Optional[Tuple[int, int]]]] = []
+        for g in range(num_g):
+            row: List[Optional[Tuple[int, int]]] = []
+            for dg in range(num_g):
+                if dg == g:
+                    row.append(None)
+                else:
+                    k = dg if dg < g else dg - 1
+                    row.append((g * a + k // h, first_global + k % h))
+            self.gateway_table.append(row)
+
+        #: (router, dst_group) -> minimal-path port towards dst_group (-1 for own group).
+        self.group_port_table: List[List[int]] = []
+        for r in range(num_r):
+            g, li = r // a, r % a
+            row_ports = [-1] * num_g
+            for dg in range(num_g):
+                if dg == g:
+                    continue
+                gw, gport = self.gateway_table[g][dg]
+                if gw == r:
+                    row_ports[dg] = gport
+                else:
+                    lj = gw % a
+                    row_ports[dg] = first_local + (lj if lj < li else lj - 1)
+            self.group_port_table.append(row_ports)
+
+        #: (router, dst_router) -> minimal first-hop port (-1 on the diagonal).
+        self.minimal_port_table: List[List[int]] = []
+        for r in range(num_r):
+            g, li = r // a, r % a
+            group_ports = self.group_port_table[r]
+            row_min = [-1] * num_r
+            for dr in range(num_r):
+                if dr == r:
+                    continue
+                dg = dr // a
+                if dg == g:
+                    lj = dr % a
+                    row_min[dr] = first_local + (lj if lj < li else lj - 1)
+                else:
+                    row_min[dr] = group_ports[dg]
+            self.minimal_port_table.append(row_min)
 
     # ------------------------------------------------------------ id helpers
     @property
@@ -94,12 +181,12 @@ class DragonflyTopology:
     def router_of_node(self, node: int) -> int:
         """Router id hosting ``node``."""
         self._check_node(node)
-        return node // self.nodes_per_router
+        return self.router_of_node_table[node]
 
     def terminal_port_of_node(self, node: int) -> int:
         """Terminal port index of ``node`` on its router."""
         self._check_node(node)
-        return node % self.nodes_per_router
+        return self.terminal_port_of_node_table[node]
 
     def node_at(self, router: int, terminal_port: int) -> int:
         """Node attached to ``terminal_port`` of ``router``."""
@@ -111,11 +198,12 @@ class DragonflyTopology:
     def group_of_router(self, router: int) -> int:
         """Group id of ``router``."""
         self._check_router(router)
-        return router // self.routers_per_group
+        return self.group_of_router_table[router]
 
     def group_of_node(self, node: int) -> int:
         """Group id hosting ``node``."""
-        return self.group_of_router(self.router_of_node(node))
+        self._check_node(node)
+        return self.group_of_node_table[node]
 
     def local_index(self, router: int) -> int:
         """Index of ``router`` within its group (0 .. a-1)."""
@@ -145,11 +233,7 @@ class DragonflyTopology:
         """Classify a port index as terminal, local or global."""
         if not 0 <= port < self._ports_per_router:
             raise ValueError(f"port {port} out of range (0..{self._ports_per_router - 1})")
-        if port < self._first_local_port:
-            return PortKind.TERMINAL
-        if port < self._first_global_port:
-            return PortKind.LOCAL
-        return PortKind.GLOBAL
+        return self.port_kind_table[port]
 
     def terminal_ports(self) -> range:
         """All terminal port indices."""
@@ -186,20 +270,14 @@ class DragonflyTopology:
         peer_local = offset if offset < li else offset + 1
         return self.router_in_group(self.group_of_router(router), peer_local)
 
-    def _group_relative_index(self, group: int, other_group: int) -> int:
-        """Index of ``other_group`` in ``group``'s ordered list of peers."""
-        if group == other_group:
-            raise ValueError("a group has no global link to itself")
-        return other_group if other_group < group else other_group - 1
-
     def gateway_router(self, group: int, dst_group: int) -> Tuple[int, int]:
         """Router and global port in ``group`` holding the link to ``dst_group``."""
         self._check_group(group)
         self._check_group(dst_group)
-        k = self._group_relative_index(group, dst_group)
-        local = k // self.global_per_router
-        port = self._first_global_port + (k % self.global_per_router)
-        return self.router_in_group(group, local), port
+        entry = self.gateway_table[group][dst_group]
+        if entry is None:
+            raise ValueError("a group has no global link to itself")
+        return entry
 
     def global_port_to_group(self, router: int, dst_group: int) -> int:
         """Global port of ``router`` leading to ``dst_group``.
@@ -245,12 +323,9 @@ class DragonflyTopology:
 
     def link_latency(self, port: int) -> float:
         """Propagation latency (ns) of the link attached to ``port``."""
-        kind = self.port_kind(port)
-        if kind == PortKind.TERMINAL:
-            return self.config.terminal_latency_ns
-        if kind == PortKind.LOCAL:
-            return self.config.local_latency_ns
-        return self.config.global_latency_ns
+        if not 0 <= port < self._ports_per_router:
+            raise ValueError(f"port {port} out of range (0..{self._ports_per_router - 1})")
+        return self.link_latency_table[port]
 
     # ------------------------------------------------------------- paths
     def minimal_router_path(self, src_router: int, dst_router: int) -> List[int]:

@@ -10,12 +10,22 @@ from repro.placement.random_placement import RandomPlacement
 from repro.placement.contiguous import ContiguousPlacement
 from repro.placement.allocator import NodeAllocator
 
-__all__ = ["ContiguousPlacement", "NodeAllocator", "Placement", "RandomPlacement", "create_placement"]
+__all__ = [
+    "ContiguousPlacement",
+    "NodeAllocator",
+    "PLACEMENTS",
+    "Placement",
+    "RandomPlacement",
+    "create_placement",
+]
 
 _POLICIES = {
     "random": RandomPlacement,
     "contiguous": ContiguousPlacement,
 }
+
+#: Names accepted by :func:`create_placement` (for validation and CLIs).
+PLACEMENTS = tuple(sorted(_POLICIES))
 
 
 def create_placement(name: str, **kwargs) -> Placement:

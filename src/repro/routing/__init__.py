@@ -35,6 +35,7 @@ __all__ = [
     "UgalNRouting",
     "ValiantRouting",
     "create_routing",
+    "resolve_algorithm",
 ]
 
 #: Registry of algorithm name -> class.
@@ -60,6 +61,21 @@ _ALIASES = {
 }
 
 
+def resolve_algorithm(name: str) -> str:
+    """Canonical algorithm key for ``name`` (alias-aware).
+
+    Raises ``ValueError`` for unknown names, so callers can validate routing
+    selections before building anything expensive.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return key
+
+
 def create_routing(name, network, config, rng) -> RoutingAlgorithm:
     """Instantiate the routing algorithm ``name`` for ``network``.
 
@@ -75,12 +91,4 @@ def create_routing(name, network, config, rng) -> RoutingAlgorithm:
         A :class:`numpy.random.Generator` used for candidate sampling and
         exploration.
     """
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    try:
-        cls = ALGORITHMS[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown routing algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
-        ) from None
-    return cls(network, config, rng)
+    return ALGORITHMS[resolve_algorithm(name)](network, config, rng)

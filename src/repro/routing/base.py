@@ -40,6 +40,8 @@ class RoutingAlgorithm(abc.ABC):
         self.topology: DragonflyTopology = network.topology
         self.config = config
         self.rng = rng
+        #: (src_group, dst_group) -> list of allowed intermediate groups.
+        self._intermediate_groups: dict = {}
 
     # ----------------------------------------------------------- interface
     @abc.abstractmethod
@@ -70,25 +72,17 @@ class RoutingAlgorithm(abc.ABC):
     def minimal_port(self, router: "Router", dst_node: int) -> int:
         """Output port of ``router`` on the minimal path towards ``dst_node``."""
         topo = self.topology
-        dst_router = topo.router_of_node(dst_node)
+        dst_router = topo.router_of_node_table[dst_node]
         if dst_router == router.router_id:
-            return topo.terminal_port_of_node(dst_node)
-        dst_group = topo.group_of_router(dst_router)
-        if dst_group == router.group:
-            return topo.local_port_to(router.router_id, dst_router)
-        gateway, global_port = topo.gateway_router(router.group, dst_group)
-        if gateway == router.router_id:
-            return global_port
-        return topo.local_port_to(router.router_id, gateway)
+            return topo.terminal_port_of_node_table[dst_node]
+        return topo.minimal_port_table[router.router_id][dst_router]
 
     def port_toward_group(self, router: "Router", target_group: int) -> int:
         """Output port on the minimal path towards any router of ``target_group``."""
-        if target_group == router.group:
+        port = self.topology.group_port_table[router.router_id][target_group]
+        if port < 0:
             raise ValueError("already in the target group")
-        gateway, global_port = self.topology.gateway_router(router.group, target_group)
-        if gateway == router.router_id:
-            return global_port
-        return self.topology.local_port_to(router.router_id, gateway)
+        return port
 
     def forward_port(self, router: "Router", packet: Packet) -> int:
         """Output port following the packet's already-decided path.
@@ -109,22 +103,36 @@ class RoutingAlgorithm(abc.ABC):
                 if target_router is None or target_router == router.router_id:
                     packet.visited_intermediate = True
                     return self.minimal_port(router, packet.dst_node)
-                return topo.local_port_to(router.router_id, target_router)
+                return topo.minimal_port_table[router.router_id][target_router]
             return self.port_toward_group(router, intermediate)
         return self.minimal_port(router, packet.dst_node)
 
     # ------------------------------------------------------ candidate sets
     def sample_intermediate_groups(self, router: "Router", packet: Packet, count: int) -> List[int]:
         """Sample candidate intermediate groups (excluding source and destination)."""
-        dst_group = self.topology.group_of_node(packet.dst_node)
-        excluded = {router.group, dst_group}
-        candidates = [g for g in range(self.topology.num_groups) if g not in excluded]
-        if not candidates or count <= 0:
+        dst_group = self.topology.group_of_node_table[packet.dst_node]
+        key = (router.group, dst_group)
+        candidates = self._intermediate_groups.get(key)
+        if candidates is None:
+            excluded = {router.group, dst_group}
+            candidates = [g for g in range(self.topology.num_groups) if g not in excluded]
+            self._intermediate_groups[key] = candidates
+        n = len(candidates)
+        if n == 0 or count <= 0:
             return []
-        if count >= len(candidates):
-            return candidates
-        picks = self.rng.choice(len(candidates), size=count, replace=False)
-        return [candidates[int(i)] for i in picks]
+        if count >= n:
+            return list(candidates)
+        # Partial Fisher-Yates over a scratch copy: one RNG call per sample
+        # instead of Generator.choice's full-permutation machinery.  This is
+        # called once per adaptively-routed packet, so the cheap path matters.
+        pool = list(candidates)
+        draws = self.rng.random(count)
+        picks = []
+        for i in range(count):
+            j = i + int(draws[i] * (n - i))
+            pool[i], pool[j] = pool[j], pool[i]
+            picks.append(pool[i])
+        return picks
 
     def pick_intermediate_router(self, group: int) -> int:
         """Random router inside ``group`` (used by UGALn, PAR and Valiant-node)."""

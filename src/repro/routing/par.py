@@ -28,12 +28,12 @@ class ParRouting(UgalNRouting):
         # Unlike plain UGAL, a minimal decision stays revisable while the
         # packet remains in its source group.
         if packet.path_class == PathClass.MINIMAL:
-            dst_group = self.topology.group_of_node(packet.dst_node)
+            dst_group = self.topology.group_of_node_table[packet.dst_node]
             packet.minimal_decision_final = dst_group == router.group
 
     def _maybe_revise(self, router, packet: Packet) -> None:
         """Re-evaluate a revisable minimal decision at a source-group router."""
-        src_group = self.topology.group_of_node(packet.src_node)
+        src_group = self.topology.group_of_node_table[packet.src_node]
         if router.group != src_group:
             # The packet already left its source group: the decision is locked.
             packet.minimal_decision_final = True

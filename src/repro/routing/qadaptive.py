@@ -31,6 +31,7 @@ import numpy as np
 from repro.config import RoutingConfig
 from repro.core.events import EventKind
 from repro.network.packet import Packet, PathClass
+from repro.network.router import Router as _Router
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.qtable import DestKey, QTable
 
@@ -39,6 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.router import Router
 
 __all__ = ["QAdaptiveRouting"]
+
+_FEEDBACK = EventKind.ROUTING_FEEDBACK
 
 
 class QAdaptiveRouting(RoutingAlgorithm):
@@ -51,6 +54,19 @@ class QAdaptiveRouting(RoutingAlgorithm):
         self._tables: Dict[int, QTable] = {}
         #: Total feedback signals applied (observability / tests).
         self.feedback_count = 0
+        system = network.config.system
+        self._serialization_ns = system.packet_serialization_ns
+        #: Remaining time once the packet sits at its destination router.
+        self._terminal_remaining = (
+            system.packet_serialization_ns + system.terminal_latency_ns
+        )
+        # Ports a packet may leave a router through, by destination level.
+        # Intra-group ("r") destinations stay inside the group, so only local
+        # ports are viable; inter-group ("g") destinations may take any
+        # router-to-router port (local hop towards a gateway or global hop).
+        topo = self.topology
+        self._local_ports = tuple(topo.local_ports())
+        self._router_ports = tuple(topo.local_ports()) + tuple(topo.global_ports())
 
     # --------------------------------------------------------------- tables
     def table_for(self, router: "Router") -> QTable:
@@ -94,8 +110,9 @@ class QAdaptiveRouting(RoutingAlgorithm):
 
     # ------------------------------------------------------------ decisions
     def _dest_key(self, router: "Router", packet: Packet) -> DestKey:
-        dst_router = self.topology.router_of_node(packet.dst_node)
-        dst_group = self.topology.group_of_router(dst_router)
+        topo = self.topology
+        dst_router = topo.router_of_node_table[packet.dst_node]
+        dst_group = topo.group_of_router_table[dst_router]
         if dst_group == router.group:
             return ("r", dst_router)
         return ("g", dst_group)
@@ -105,7 +122,7 @@ class QAdaptiveRouting(RoutingAlgorithm):
         candidates: List[Tuple[int, int, int | None]] = []
         min_port = self.minimal_port(router, packet.dst_node)
         candidates.append((min_port, PathClass.MINIMAL, None))
-        dst_group = self.topology.group_of_node(packet.dst_node)
+        dst_group = self.topology.group_of_node_table[packet.dst_node]
         if dst_group != router.group:
             for group in self.sample_intermediate_groups(
                 router, packet, self.config.nonminimal_candidates
@@ -148,21 +165,32 @@ class QAdaptiveRouting(RoutingAlgorithm):
 
     # ------------------------------------------------------------- learning
     def estimate_remaining(self, router: "Router", packet: Packet) -> float:
-        """This router's best estimate of the packet's remaining delivery time."""
-        dst_router = self.topology.router_of_node(packet.dst_node)
+        """This router's best estimate of the packet's remaining delivery time.
+
+        Per the Boyan–Littman Q-routing update (and the paper's "router's own
+        best estimate" feedback rule) this is the *minimum* of
+        ``queue_weight * queue_delay + Q`` over every viable output port — not
+        just the port the packet happens to take next.
+        """
+        dst_router = self.topology.router_of_node_table[packet.dst_node]
         if dst_router == router.router_id:
             # Only the terminal hop remains.
-            return (
-                self.network.config.system.packet_serialization_ns
-                + self.network.config.system.terminal_latency_ns
-            )
+            return self._terminal_remaining
         table = self.table_for(router)
         dest = self._dest_key(router, packet)
-        port = self.forward_port(router, packet)
-        scores = [
-            (port, self.config.q_queue_weight * router.queue_delay_estimate(port))
-        ]
-        _, best = table.best(scores, dest)
+        ports = self._local_ports if dest[0] == "r" else self._router_ports
+        weight_ns = self.config.q_queue_weight * self._serialization_ns
+        credits = router.credits
+        requests = router.out_requests
+        get = table.get
+        best = float("inf")
+        for port in ports:
+            score = (
+                weight_ns * (credits[port].used + len(requests[port]))
+                + get(port, dest)
+            )
+            if score < best:
+                best = score
         return best
 
     def on_packet_received(self, router: "Router", in_port: int, packet: Packet) -> None:
@@ -172,8 +200,6 @@ class QAdaptiveRouting(RoutingAlgorithm):
             return
         sender = in_link.src
         # Feedback only flows between routers; NIC injections carry no Q-value.
-        from repro.network.router import Router as _Router
-
         if not isinstance(sender, _Router):
             return
         if packet.request_time is None:
@@ -189,7 +215,7 @@ class QAdaptiveRouting(RoutingAlgorithm):
             in_link.src_port,
             dest,
             sample,
-            kind=EventKind.ROUTING_FEEDBACK,
+            kind=_FEEDBACK,
         )
 
     def _apply_feedback(self, sender: "Router", port: int, dest: DestKey, sample: float) -> None:

@@ -34,7 +34,7 @@ class _UgalBase(RoutingAlgorithm):
     def decide_at_source(self, router, packet: Packet) -> None:
         """Make the one-time minimal/non-minimal decision for ``packet``."""
         topo = self.topology
-        dst_group = topo.group_of_node(packet.dst_node)
+        dst_group = topo.group_of_node_table[packet.dst_node]
         if dst_group == router.group:
             packet.path_class = PathClass.MINIMAL
             packet.minimal_decision_final = True

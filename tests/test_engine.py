@@ -76,6 +76,48 @@ def test_run_until_stops_clock_at_bound():
     assert fired == ["early", "late"]
 
 
+def test_run_until_advances_clock_when_calendar_drains_early():
+    # Documented semantics: run(until=t) always ends with now == t unless cut
+    # short by stop() or max_events — even if the calendar drains before t.
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "only")
+    assert sim.run(until=50.0) == 50.0
+    assert sim.now == 50.0
+    assert fired == ["only"]
+    # Scheduling resumes from the advanced clock.
+    handle = sim.schedule(5.0, fired.append, "later")
+    assert handle.time == 55.0
+
+
+def test_last_event_time_tracks_fired_events_not_idle_advance():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+    assert sim.last_event_time == 10.0  # watchdog callers report completion
+    sim.schedule(5.0, lambda: None)  # fires at t=55
+    sim.run()
+    assert sim.last_event_time == sim.now == 55.0
+
+
+def test_run_until_advances_clock_on_empty_calendar():
+    sim = Simulator()
+    assert sim.run(until=25.0) == 25.0
+    assert sim.now == 25.0
+
+
+def test_stop_and_max_events_do_not_advance_to_until():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    assert sim.run(until=100.0) == 1.0
+
+    sim2 = Simulator()
+    sim2.schedule(1.0, lambda: None)
+    sim2.schedule(2.0, lambda: None)
+    assert sim2.run(until=100.0, max_events=1) == 1.0
+
+
 def test_run_max_events_limit():
     sim = Simulator()
     for i in range(20):

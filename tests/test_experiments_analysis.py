@@ -90,6 +90,17 @@ def test_run_workloads_detects_incomplete_runs():
     assert not partial.completed
 
 
+def test_makespan_not_inflated_by_unused_max_time_watchdog():
+    config = _tiny_config()
+    watchdog = SimulationConfig(
+        system=config.system, routing=config.routing, seed=config.seed, max_time_ns=1e12
+    )
+    result = run_workloads(watchdog, [AppSpec("UR", 4, {"scale": 0.2})])
+    assert result.completed
+    assert result.sim.now == 1e12  # run(until=...) idles the clock to the bound
+    assert result.makespan_ns < 1e9  # ...but makespan reports the last event
+
+
 def test_run_is_reproducible_for_fixed_seed():
     config = _tiny_config(seed=11)
     spec = AppSpec("FFT3D", 8, {"scale": 0.3})
@@ -179,5 +190,11 @@ def test_cli_parser_subcommands():
     assert args.command == "mixed"
     args = parser.parse_args(["table1", "--routing", "q-adaptive"])
     assert args.routing == "q-adaptive"
+    args = parser.parse_args(
+        ["sweep", "--workloads", "FFT3D", "--seeds", "1", "2", "--workers", "3"]
+    )
+    assert args.command == "sweep"
+    assert args.seeds == [1, 2] and args.workers == 3
+    assert args.cache_dir == ".sweep-cache"
     with pytest.raises(SystemExit):
         parser.parse_args(["pairwise", "FFT3D", "NotAnApp"])

@@ -93,6 +93,29 @@ def test_stats_series_account_for_all_delivered_bytes():
     assert network.stats.system_ejected_bytes.total() == pytest.approx(total)
 
 
+def test_stall_recorded_for_packets_requested_at_time_zero():
+    # Regression: `packet.request_time or sim.now` treated the legitimate
+    # timestamp 0.0 as unset, silently zeroing the stall of any packet routed
+    # at t=0.  Two packets contending for one output port at t=0 must charge
+    # the loser's wait to the port.
+    config = SimulationConfig(system=tiny_system(), seed=1).with_routing("minimal")
+    sim = Simulator()
+    network = DragonflyNetwork(sim, config)
+    router = network.routers[0]
+    dst = network.topology.nodes_per_router  # first node of router 1, same group
+    first = Message(0, dst, 512).segment(512, 128)[0]
+    second = Message(1, dst, 512).segment(512, 128)[0]
+    # Hand the packets straight to the router as if the NICs had injected
+    # them at t=0 (consuming the matching injection credits).
+    network.nics[0].credits.consume(0)
+    network.nics[1].credits.consume(0)
+    router.receive_packet(0, first)   # granted immediately: the link was idle
+    router.receive_packet(1, second)  # blocked at t=0 behind the busy link
+    sim.run()
+    assert network.stats.total_packets_ejected == 2
+    assert network.stats.port_stall.total() > 0
+
+
 def test_wiring_covers_every_port():
     config = SimulationConfig(system=tiny_system()).with_routing("minimal")
     network = DragonflyNetwork(Simulator(), config)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import RoutingConfig, SimulationConfig, tiny_system
+from repro.config import RoutingConfig, SimulationConfig, SystemConfig, tiny_system
 from repro.core.engine import Simulator
 from repro.network.network import DragonflyNetwork
 from repro.network.packet import Message, PathClass
@@ -171,6 +171,92 @@ def test_qadaptive_learns_from_feedback_during_traffic():
     for table in routing._tables.values():
         for value in table.snapshot().values():
             assert np.isfinite(value) and value >= 0
+
+
+def _toy_qadaptive_network():
+    """Hand-built 3-group, 2-router-per-group system (one local + one global
+    port per router), small enough to enumerate every viable port by hand."""
+    system = SystemConfig(num_groups=3, routers_per_group=2, nodes_per_router=1)
+    config = SimulationConfig(system=system, seed=1).with_routing("q-adaptive")
+    sim = Simulator()
+    return sim, DragonflyNetwork(sim, config)
+
+
+def test_qadaptive_estimate_is_min_over_all_viable_ports():
+    # Regression: the feedback estimate scored only the packet's forward port;
+    # the paper's Boyan-Littman update takes the minimum of
+    # queue_weight * queue_delay + Q over *every* viable output port.
+    _, network = _toy_qadaptive_network()
+    routing = network.routing
+    topo = network.topology
+    router = network.routers[0]
+    dst_node = list(topo.nodes_of_group(1))[0]
+    packet = _packet_between(network, 0, dst_node)
+    dest = ("g", 1)
+
+    local_port = list(topo.local_ports())[0]
+    global_port = list(topo.global_ports())[0]
+    # The minimal (forward) port for group 1 from router 0 is its global port;
+    # make it expensive so only a min over all ports finds the cheap local one.
+    table = routing.table_for(router)
+    table.update(global_port, dest, 5_000.0, learning_rate=1.0)
+    table.update(local_port, dest, 100.0, learning_rate=1.0)
+
+    assert routing.forward_port(router, packet) == global_port
+    qw = network.config.routing.q_queue_weight
+    expected = min(
+        qw * router.queue_delay_estimate(port) + table.get(port, dest)
+        for port in (local_port, global_port)
+    )
+    estimate = routing.estimate_remaining(router, packet)
+    assert estimate == pytest.approx(expected)
+    assert estimate == pytest.approx(100.0)
+
+
+def test_qadaptive_feedback_sample_uses_min_over_ports_estimate():
+    sim, network = _toy_qadaptive_network()
+    routing = network.routing
+    topo = network.topology
+    sender = network.routers[0]
+    local_port = list(topo.local_ports())[0]
+    receiver = network.routers[topo.local_peer(0, local_port)]
+    link = sender.out_links[local_port]
+    assert link.dst is receiver
+
+    dst_node = list(topo.nodes_of_group(1))[0]
+    packet = _packet_between(network, 0, dst_node)
+    dest = ("g", 1)
+    packet.request_time = sim.now  # the hop completed instantaneously
+
+    alpha = network.config.routing.q_learning_rate
+    old = routing.table_for(sender).get(local_port, dest)
+    expected_sample = routing.estimate_remaining(receiver, packet)
+
+    routing.on_packet_received(receiver, link.dst_port, packet)
+    sim.run()
+    assert routing.feedback_count == 1
+    new = routing.table_for(sender).get(local_port, dest)
+    assert new == pytest.approx((1 - alpha) * old + alpha * expected_sample)
+
+
+def test_qadaptive_intra_group_estimate_only_considers_local_ports():
+    _, network = _toy_qadaptive_network()
+    routing = network.routing
+    topo = network.topology
+    router = network.routers[0]
+    peer_node = list(topo.nodes_of_group(0))[1]  # hosted by the other router of group 0
+    packet = _packet_between(network, 0, peer_node)
+    dest = ("r", topo.router_of_node(peer_node))
+
+    local_port = list(topo.local_ports())[0]
+    global_port = list(topo.global_ports())[0]
+    table = routing.table_for(router)
+    # Even an absurdly cheap global-port entry must not leak into an
+    # intra-group estimate: leaving the group is not a viable path to a
+    # router of the local group.
+    table.update(global_port, dest, 0.0, learning_rate=1.0)
+    table.update(local_port, dest, 250.0, learning_rate=1.0)
+    assert routing.estimate_remaining(router, packet) == pytest.approx(250.0)
 
 
 def test_qadaptive_exploration_rate_respected():

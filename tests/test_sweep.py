@@ -1,0 +1,141 @@
+"""Tests of the parallel sweep runner: grids, hashing, caching, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    build_grid,
+    point_hash,
+    run_sweep,
+)
+
+#: Small-but-real sweep point: tiny system so every run finishes in well
+#: under a second.
+def _tiny_point(**overrides) -> SweepPoint:
+    fields = dict(
+        workload="UR", routing="par", seed=1, scale=0.2, ranks=8, system="tiny"
+    )
+    fields.update(overrides)
+    return SweepPoint(**fields)
+
+
+def _tiny_grid():
+    return [
+        _tiny_point(routing=routing, seed=seed)
+        for routing in ("par", "q-adaptive")
+        for seed in (1, 2)
+    ]
+
+
+# ------------------------------------------------------------------ grid/hash
+def test_build_grid_is_full_cartesian_product():
+    grid = build_grid(
+        workloads=["UR", "LU"],
+        routings=["par", "minimal"],
+        placements=["random", "contiguous"],
+        seeds=[1, 2, 3],
+        system="tiny",
+    )
+    assert len(grid) == 2 * 2 * 2 * 3
+    assert len(set(grid)) == len(grid)  # frozen dataclass -> hashable, unique
+    assert all(p.system == "tiny" for p in grid)
+
+
+def test_point_hash_stable_and_sensitive():
+    point = _tiny_point()
+    assert point_hash(point) == point_hash(_tiny_point())
+    assert point_hash(point) != point_hash(_tiny_point(seed=2))
+    assert point_hash(point) != point_hash(_tiny_point(routing="minimal"))
+    assert point_hash(point) != point_hash(_tiny_point(scale=0.3))
+
+
+def test_sweep_point_validates_every_axis_at_construction():
+    with pytest.raises(ValueError):
+        SweepPoint(workload="UR", system="huge")
+    with pytest.raises(ValueError):
+        SweepPoint(workload="NotAnApp")
+    with pytest.raises(ValueError):
+        SweepPoint(workload="UR", routing="qadaptiv")  # typo'd algorithm
+    with pytest.raises(ValueError):
+        SweepPoint(workload="UR", placement="spread")
+
+
+def test_sweep_point_canonicalizes_aliases_into_one_cache_entry():
+    point = SweepPoint(workload="UR", routing="ugal", placement="Random")
+    assert point.routing == "ugal-g"
+    assert point.placement == "random"
+    assert point_hash(point) == point_hash(SweepPoint(workload="UR", routing="ugal-g"))
+
+
+def test_as_row_keeps_explicit_bandwidth_column():
+    default_row = SweepResult(
+        point=_tiny_point(), metrics={}, wall_seconds=0.0
+    ).as_row()
+    assert "link_bandwidth_gbps" not in default_row
+    swept_row = SweepResult(
+        point=_tiny_point(link_bandwidth_gbps=25.0), metrics={}, wall_seconds=0.0
+    ).as_row()
+    assert swept_row["link_bandwidth_gbps"] == 25.0
+
+
+# ------------------------------------------------------------------ execution
+def test_run_sweep_serial_produces_metrics():
+    results = run_sweep([_tiny_point()], workers=1)
+    assert len(results) == 1
+    metrics = results[0].metrics
+    assert metrics["makespan_ns"] > 0
+    assert metrics["packets_injected"] == metrics["packets_ejected"] > 0
+    assert not results[0].cached
+    row = results[0].as_row()
+    assert row["workload"] == "UR" and row["makespan_ns"] > 0
+
+
+def test_run_sweep_caches_results(tmp_path):
+    cache = tmp_path / "cache"
+    point = _tiny_point()
+    first = run_sweep([point], workers=1, cache_dir=str(cache))
+    assert not first[0].cached
+    files = list(cache.glob("*.json"))
+    assert len(files) == 1
+    payload = json.loads(files[0].read_text())
+    assert payload["point"] == point.as_dict()
+
+    second = run_sweep([point], workers=1, cache_dir=str(cache))
+    assert second[0].cached
+    assert second[0].metrics == first[0].metrics
+
+
+def test_run_sweep_ignores_stale_cache_entries(tmp_path):
+    cache = tmp_path / "cache"
+    point = _tiny_point()
+    run_sweep([point], workers=1, cache_dir=str(cache))
+    path = cache / f"{point_hash(point)}.json"
+    payload = json.loads(path.read_text())
+    payload["point"]["seed"] = 999  # simulate a hash collision / stale layout
+    path.write_text(json.dumps(payload))
+    results = run_sweep([point], workers=1, cache_dir=str(cache))
+    assert not results[0].cached
+
+
+def test_run_sweep_parallel_matches_serial_exactly():
+    """Same seeds => bit-identical metrics, serial vs. multiprocessing."""
+    grid = _tiny_grid()
+    serial = run_sweep(grid, workers=1)
+    parallel = run_sweep(grid, workers=4)
+    assert [r.point for r in serial] == grid
+    assert [r.point for r in parallel] == grid
+    for s, p in zip(serial, parallel):
+        assert s.metrics == p.metrics  # exact float equality, not approx
+
+
+def test_run_sweep_reports_progress():
+    seen = []
+    run_sweep(
+        [_tiny_point(), _tiny_point(seed=2)],
+        workers=1,
+        progress=lambda done, total, result: seen.append((done, total, result.cached)),
+    )
+    assert seen == [(1, 2, False), (2, 2, False)]
