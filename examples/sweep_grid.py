@@ -8,8 +8,13 @@ script (or adding rows to the grid) only simulates the new points.
 
 The same sweep is available from the command line:
 
-    dragonfly-sim --scale 0.3 sweep --workloads FFT3D Halo3D \
+    dragonfly-sim sweep --scale 0.3 --workloads FFT3D Halo3D \
         --routings par q-adaptive --seeds 1 2
+
+This is the classic single-workload grid via the (deprecated) ``SweepPoint``
+shim; arbitrary scenarios — including pairwise and mixed co-runs — sweep the
+same way through ``repro.experiments.scenario.expand_grid`` (see
+``examples/scenario_api.py`` and docs/scenarios.md).
 
 Run with:  python examples/sweep_grid.py
 """

@@ -1,14 +1,21 @@
 """Command-line interface: ``dragonfly-sim``.
 
-Four subcommands cover the study's workflows:
+Six subcommands cover the study's workflows:
 
-* ``table1``   — run every application standalone and print the Table I rows;
-* ``pairwise`` — co-run a target and a background application under one or
+* ``table1``    — run every application standalone and print the Table I rows;
+* ``pairwise``  — co-run a target and a background application under one or
   more routing algorithms and print the interference summary (Fig. 4 rows);
-* ``mixed``    — run the Table II mixed workload and print per-application
+* ``mixed``     — run the Table II mixed workload and print per-application
   interference plus the system-wide congestion metrics (Figs 10-13);
-* ``sweep``    — fan a (routing × placement × workload × seed) grid across
-  worker processes with on-disk result caching (see docs/sweep.md).
+* ``sweep``     — fan a scenario grid (standalone, pairwise or mixed) across
+  worker processes with on-disk result caching (see docs/sweep.md);
+* ``run``       — execute a named scenario from the built-in library or a
+  scenario JSON file (see docs/scenarios.md);
+* ``scenarios`` — list the scenario library, or describe one as JSON.
+
+``--seed``/``--scale`` are accepted both before and after the subcommand,
+and every study subcommand accepts ``--dump-scenario PATH`` to capture the
+invocation as a reusable scenario JSON file instead of simulating.
 """
 
 from __future__ import annotations
@@ -16,35 +23,81 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.mixed import mixed_study
 from repro.analysis.pairwise import pairwise_study
 from repro.analysis.reports import format_table, intensity_report
 from repro.experiments.configs import ROUTINGS, bench_config, table1_specs
-from repro.experiments.runner import run_standalone
+from repro.experiments.scenario import (
+    Scenario,
+    dump_scenarios,
+    expand_grid,
+    get_scenario,
+    load_scenarios,
+    mixed_scenario,
+    pairwise_scenario,
+    scenario_names,
+    table1_scenario,
+)
 from repro.metrics.intensity import intensity_table
 from repro.workloads import APPLICATIONS
 
 __all__ = ["build_parser", "main"]
 
 
+def _seed(args) -> int:
+    return getattr(args, "seed", 1)
+
+
+def _scale(args) -> float:
+    return getattr(args, "scale", 1.0)
+
+
+def _dump_path(args) -> Optional[str]:
+    return getattr(args, "dump_scenario", None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
+    # Shared options live on a parent parser attached to the main parser AND
+    # to every subparser, so "dragonfly-sim table1 --seed 3" and
+    # "dragonfly-sim --seed 3 table1" both work.  Defaults are SUPPRESS so a
+    # subparser's (unset) copy never clobbers a value parsed earlier; readers
+    # go through _seed()/_scale()/_dump_path() for the real defaults.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="experiment seed (default 1)"
+    )
+    common.add_argument(
+        "--scale", type=float, default=argparse.SUPPRESS,
+        help="message-volume scale factor (default 1.0)",
+    )
+    capture = argparse.ArgumentParser(add_help=False)
+    capture.add_argument(
+        "--dump-scenario", metavar="PATH", default=argparse.SUPPRESS,
+        help="write this invocation's scenario(s) as JSON to PATH and exit "
+             "without simulating (replay with 'dragonfly-sim run PATH')",
+    )
+
     parser = argparse.ArgumentParser(
         prog="dragonfly-sim",
         description="Dragonfly workload-interference simulator (SC22 reproduction)",
-    )
-    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
-    parser.add_argument(
-        "--scale", type=float, default=1.0, help="message-volume scale factor (default 1.0)"
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    table1 = sub.add_parser("table1", help="regenerate the Table I intensity metrics")
+    table1 = sub.add_parser(
+        "table1", parents=[common, capture],
+        help="regenerate the Table I intensity metrics",
+    )
     table1.add_argument("--routing", default="par", help="routing algorithm to use")
 
-    pairwise = sub.add_parser("pairwise", help="pairwise interference study (Fig. 4)")
+    pairwise = sub.add_parser(
+        "pairwise", parents=[common, capture],
+        help="pairwise interference study (Fig. 4)",
+    )
     pairwise.add_argument("target", choices=sorted(APPLICATIONS), help="target application")
     pairwise.add_argument(
         "background", choices=sorted(APPLICATIONS), help="background application"
@@ -53,32 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--routings", nargs="+", default=list(ROUTINGS), help="routing algorithms to compare"
     )
 
-    mixed = sub.add_parser("mixed", help="mixed-workload study (Figs 10-13)")
+    mixed = sub.add_parser(
+        "mixed", parents=[common, capture], help="mixed-workload study (Figs 10-13)"
+    )
     mixed.add_argument(
         "--routings", nargs="+", default=["par", "q-adaptive"], help="routing algorithms"
     )
 
     sweep = sub.add_parser(
-        "sweep", help="parallel (routing x placement x workload x seed) grid"
+        "sweep", parents=[common, capture],
+        help="parallel scenario grid (routing x placement x seed)",
     )
     sweep.add_argument(
         "--workloads", nargs="+", default=["FFT3D", "Halo3D"],
-        help="applications to sweep (see repro.workloads)",
+        help="applications to sweep standalone (see repro.workloads)",
     )
     sweep.add_argument(
-        "--routings", nargs="+", default=list(ROUTINGS), help="routing algorithms"
+        "--scenario", default=None, metavar="NAME_OR_FILE",
+        help="sweep this base scenario (library name or JSON file) across the "
+             "grid axes instead of --workloads — pairwise and mixed scenarios "
+             "sweep exactly like standalone ones",
     )
     sweep.add_argument(
-        "--placements", nargs="+", default=["random"],
-        help="placement policies (random, contiguous)",
+        "--routings", nargs="+", default=None,
+        help="routing algorithms (default: all four paper algorithms for "
+             "--workloads grids; the base scenario's algorithm for --scenario)",
+    )
+    sweep.add_argument(
+        "--placements", nargs="+", default=None,
+        help="placement policies (random, contiguous; default: random for "
+             "--workloads grids, the base scenario's policy for --scenario)",
     )
     sweep.add_argument(
         "--seeds", nargs="+", type=int, default=None,
-        help="experiment seeds (default: the global --seed)",
+        help="experiment seeds (default: --seed if given, else the base value)",
     )
     sweep.add_argument(
         "--system", default="small", choices=["tiny", "small", "paper"],
-        help="system shape (default: the 72-node bench system)",
+        help="system shape for --workloads grids (default: the 72-node bench system)",
     )
     sweep.add_argument(
         "--workers", type=int, default=os.cpu_count() or 1,
@@ -88,27 +153,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".sweep-cache",
         help="result cache directory ('' disables caching)",
     )
+
+    run = sub.add_parser(
+        "run", parents=[common, capture],
+        help="run a scenario by library name or from a JSON file",
+    )
+    run.add_argument(
+        "scenario",
+        help="scenario name (see 'dragonfly-sim scenarios') or path to a "
+             "scenario JSON file",
+    )
+    run.add_argument("--routing", default=None, help="override the routing algorithm")
+    run.add_argument("--placement", default=None, help="override the placement policy")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the built-in scenario library (or describe one)"
+    )
+    scenarios.add_argument(
+        "name", nargs="?", default=None,
+        help="print this scenario's JSON description instead of the list",
+    )
     return parser
 
 
+def _resolve_scenarios(ref: str) -> List[Scenario]:
+    """Scenario(s) behind ``ref``: a JSON file path or a library name."""
+    if ref.endswith(".json") or Path(ref).is_file():
+        return load_scenarios(ref)
+    return [get_scenario(ref)]
+
+
+def _dump_and_report(path: str, scenarios: List[Scenario]) -> int:
+    dump_scenarios(path, scenarios)
+    label = scenarios[0].name if len(scenarios) == 1 else f"{len(scenarios)} scenarios"
+    print(f"wrote {label} to {path} (replay with: dragonfly-sim run {path})")
+    return 0
+
+
 def _run_table1(args) -> int:
-    specs = table1_specs(scale=args.scale)
+    scenarios = [
+        table1_scenario(spec.name, routing=args.routing, seed=_seed(args), scale=_scale(args))
+        for spec in table1_specs()
+    ]
+    dump = _dump_path(args)
+    if dump:
+        return _dump_and_report(dump, scenarios)
     applications = {}
     records = {}
-    for spec in specs:
-        result = run_standalone(bench_config(args.routing, seed=args.seed), spec)
-        applications[spec.name] = result.application(spec.name)
-        records[spec.name] = result.record(spec.name)
+    for scenario in scenarios:
+        result = scenario.run()
+        (name,) = [spec.name for spec in scenario.jobs]
+        applications[name] = result.application(name)
+        records[name] = result.record(name)
     rows = intensity_table(applications.values(), records)
     print(intensity_report(rows))
     return 0
 
 
 def _run_pairwise(args) -> int:
+    dump = _dump_path(args)
+    if dump:
+        scenarios = [
+            pairwise_scenario(
+                args.target, args.background,
+                routing=routing, seed=_seed(args), scale=_scale(args),
+            )
+            for routing in args.routings
+        ]
+        return _dump_and_report(dump, scenarios)
     rows = []
     for routing in args.routings:
-        config = bench_config(routing, seed=args.seed)
-        result = pairwise_study(config, args.target, args.background, scale=args.scale)
+        config = bench_config(routing, seed=_seed(args))
+        result = pairwise_study(config, args.target, args.background, scale=_scale(args))
         rows.append(result.as_dict())
     print(
         format_table(
@@ -120,9 +236,15 @@ def _run_pairwise(args) -> int:
 
 
 def _run_mixed(args) -> int:
+    dump = _dump_path(args)
+    if dump:
+        scenarios = [
+            mixed_scenario(routing=routing, seed=_seed(args)) for routing in args.routings
+        ]
+        return _dump_and_report(dump, scenarios)
     rows = []
     for routing in args.routings:
-        config = bench_config(routing, seed=args.seed)
+        config = bench_config(routing, seed=_seed(args))
         result = mixed_study(config)
         latency = result.system_latency()
         rows.append(
@@ -141,22 +263,48 @@ def _run_mixed(args) -> int:
 def _run_sweep(args) -> int:
     from repro.experiments.sweep import build_grid, run_sweep
 
-    grid = build_grid(
-        workloads=args.workloads,
-        routings=args.routings,
-        placements=args.placements,
-        seeds=args.seeds if args.seeds is not None else [args.seed],
-        scale=args.scale,
-        system=args.system,
-    )
+    if args.seeds is not None:
+        seeds = args.seeds
+    elif hasattr(args, "seed"):
+        seeds = [args.seed]
+    else:
+        seeds = None  # --scenario grids keep the base seed
+    if args.scenario:
+        bases = _resolve_scenarios(args.scenario)
+        if hasattr(args, "scale"):
+            bases = [base.with_updates(scale=args.scale) for base in bases]
+        # Only the axes the user actually passed are expanded; everything
+        # else keeps the base scenario's value.
+        grid = expand_grid(
+            bases, routings=args.routings, placements=args.placements, seeds=seeds
+        )
+        columns = ["scenario", "jobs", "routing", "placement", "seed",
+                   "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached"]
+    else:
+        grid = build_grid(
+            workloads=args.workloads,
+            routings=args.routings if args.routings is not None else list(ROUTINGS),
+            placements=args.placements if args.placements is not None else ["random"],
+            seeds=seeds if seeds is not None else [1],
+            scale=_scale(args),
+            system=args.system,
+        )
+        columns = ["workload", "routing", "placement", "seed",
+                   "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached"]
+
+    dump = _dump_path(args)
+    if dump:
+        scenarios = [cell if isinstance(cell, Scenario) else cell.to_scenario() for cell in grid]
+        return _dump_and_report(dump, scenarios)
 
     def progress(done, total, result):
         origin = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
-        print(
-            f"[{done}/{total}] {result.point.workload} {result.point.routing} "
-            f"{result.point.placement} seed={result.point.seed} ({origin})",
-            file=sys.stderr,
-        )
+        if result.point is not None:
+            what = (f"{result.point.workload} {result.point.routing} "
+                    f"{result.point.placement} seed={result.point.seed}")
+        else:
+            what = result.scenario.name
+        print(f"[{done}/{total}] {what} ({origin})", file=sys.stderr)
 
     results = run_sweep(
         grid,
@@ -164,15 +312,62 @@ def _run_sweep(args) -> int:
         cache_dir=args.cache_dir or None,
         progress=progress,
     )
-    print(
-        format_table(
-            [r.as_row() for r in results],
-            [
-                "workload", "routing", "placement", "seed",
-                "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached",
-            ],
+    print(format_table([r.as_row() for r in results], columns))
+    return 0
+
+
+def _run_run(args) -> int:
+    scenarios = _resolve_scenarios(args.scenario)
+    overrides = {}
+    if args.routing is not None:
+        overrides["routing"] = args.routing
+    if args.placement is not None:
+        overrides["placement"] = args.placement
+    if hasattr(args, "seed"):
+        overrides["seed"] = args.seed
+    if hasattr(args, "scale"):
+        overrides["scale"] = args.scale
+    if overrides:
+        scenarios = [scenario.with_updates(**overrides) for scenario in scenarios]
+    dump = _dump_path(args)
+    if dump:
+        return _dump_and_report(dump, scenarios)
+    rows = []
+    for scenario in scenarios:
+        result = scenario.run()
+        comm = [float(job.record.mean_comm_time) for job in result.jobs.values()]
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "jobs": "+".join(spec.name for spec in scenario.jobs),
+                "routing": scenario.config.routing.algorithm,
+                "placement": scenario.placement,
+                "seed": scenario.config.seed,
+                "makespan_ns": result.makespan_ns,
+                "mean_comm_time_ns": sum(comm) / len(comm),
+            }
         )
-    )
+    print(format_table(rows))
+    return 0
+
+
+def _run_scenarios(args) -> int:
+    if args.name:
+        print(get_scenario(args.name).to_json())
+        return 0
+    rows = []
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        rows.append(
+            {
+                "name": name,
+                "jobs": "+".join(spec.name for spec in scenario.jobs),
+                "routing": scenario.config.routing.algorithm,
+                "placement": scenario.placement,
+                "nodes": scenario.config.system.num_nodes,
+            }
+        )
+    print(format_table(rows, ["name", "jobs", "routing", "placement", "nodes"]))
     return 0
 
 
@@ -187,6 +382,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_mixed(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "run":
+        return _run_run(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

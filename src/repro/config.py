@@ -179,6 +179,8 @@ class RoutingConfig:
     algorithm: str = "ugal-g"
 
     #: Number of minimal path candidates sampled by adaptive algorithms.
+    #: (``algorithm`` is validated and canonicalized — aliases like ``"ugal"``
+    #: become ``"ugal-g"`` — at construction time; see ``__post_init__``.)
     minimal_candidates: int = 2
     #: Number of non-minimal (Valiant) candidates sampled.
     nonminimal_candidates: int = 2
@@ -198,6 +200,13 @@ class RoutingConfig:
     q_queue_weight: float = 1.0
 
     def __post_init__(self) -> None:
+        # Validate the algorithm name against the routing registry right here,
+        # so a typo fails at configuration time with the list of valid names
+        # instead of exploding deep inside network construction.  The import
+        # is deferred because repro.routing itself imports this module.
+        from repro.routing import resolve_algorithm
+
+        object.__setattr__(self, "algorithm", resolve_algorithm(self.algorithm))
         if self.minimal_candidates < 1:
             raise ValueError("need at least one minimal candidate")
         if self.nonminimal_candidates < 0:

@@ -1,11 +1,15 @@
-"""Experiment harness: configurations and run drivers.
+"""Experiment harness: scenarios, configurations and run drivers.
 
+:mod:`repro.experiments.scenario` defines the declarative
+:class:`~repro.experiments.scenario.Scenario` API — one serializable
+description per experiment, with a registry of named presets and grid
+expansion;
 :mod:`repro.experiments.configs` defines the paper-scale and benchmark-scale
 system/application configurations (including the Table II mixed workload);
 :mod:`repro.experiments.runner` builds a full simulator stack from an
 application list and runs it to completion;
-:mod:`repro.experiments.sweep` fans configuration grids across worker
-processes with on-disk result caching.
+:mod:`repro.experiments.sweep` fans scenario grids across worker processes
+with on-disk result caching.
 """
 
 from repro.experiments.configs import (
@@ -20,6 +24,19 @@ from repro.experiments.configs import (
     table1_specs,
 )
 from repro.experiments.runner import RunResult, run_standalone, run_workloads
+from repro.experiments.scenario import (
+    Scenario,
+    dump_scenarios,
+    expand_grid,
+    get_scenario,
+    load_scenarios,
+    mixed_scenario,
+    pairwise_scenario,
+    register_scenario,
+    scenario_hash,
+    scenario_names,
+    table1_scenario,
+)
 
 __all__ = [
     "AppSpec",
@@ -27,11 +44,22 @@ __all__ = [
     "PAPER_TABLE2_JOB_SIZES",
     "ROUTINGS",
     "RunResult",
+    "Scenario",
     "bench_config",
     "bench_spec",
+    "dump_scenarios",
+    "expand_grid",
+    "get_scenario",
+    "load_scenarios",
+    "mixed_scenario",
     "mixed_workload_specs",
+    "pairwise_scenario",
     "pairwise_specs",
+    "register_scenario",
     "run_standalone",
     "run_workloads",
+    "scenario_hash",
+    "scenario_names",
+    "table1_scenario",
     "table1_specs",
 ]

@@ -1,21 +1,27 @@
-"""Experiment runner: build the full stack from specs and run to completion."""
+"""Experiment runner: build the full stack from specs and run to completion.
+
+The canonical way to describe a run is a
+:class:`repro.experiments.scenario.Scenario`; its ``run()`` facade calls the
+:func:`_execute` core below, and :func:`run_workloads`/:func:`run_standalone`
+are kept as thin wrappers that build an ad-hoc scenario from their arguments.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.config import SimulationConfig
 from repro.core.engine import Simulator
 from repro.experiments.configs import AppSpec
 from repro.mpi.engine import MpiEngine, MpiJob
 from repro.network.network import DragonflyNetwork
-from repro.placement import create_placement
+from repro.placement import Placement, create_placement
 from repro.placement.allocator import NodeAllocator
 from repro.stats.appstats import ApplicationRecord
 from repro.stats.collector import StatsCollector
-from repro.workloads import Application, create_application
+from repro.workloads import Application, create_application, resolve_application
 
 __all__ = ["RunResult", "run_standalone", "run_workloads"]
 
@@ -40,13 +46,17 @@ class RunResult:
         """Statistics collector of this run."""
         return self.network.stats
 
+    def _key(self, name: str) -> str:
+        """Job key for ``name`` (jobs are keyed by canonical application name)."""
+        return name if name in self.jobs else resolve_application(name)
+
     def record(self, name: str) -> ApplicationRecord:
-        """Per-application record of job ``name``."""
-        return self.jobs[name].record
+        """Per-application record of job ``name`` (case-insensitive)."""
+        return self.jobs[self._key(name)].record
 
     def application(self, name: str) -> Application:
-        """Application object of job ``name``."""
-        return self.applications[name]
+        """Application object of job ``name`` (case-insensitive)."""
+        return self.applications[self._key(name)]
 
     @property
     def makespan_ns(self) -> float:
@@ -70,30 +80,28 @@ class RunResult:
         }
 
 
-def run_workloads(
+def _execute(
     config: SimulationConfig,
     specs: Sequence[AppSpec],
-    placement: str = "random",
+    placement: Union[str, Placement],
     require_completion: bool = True,
 ) -> RunResult:
-    """Run the applications described by ``specs`` on one Dragonfly system.
+    """Build the simulator stack and run it (core behind ``Scenario.run``).
 
-    Parameters
-    ----------
-    config:
-        Simulation configuration (system shape, routing algorithm, seed…).
-    specs:
-        One :class:`AppSpec` per co-running job.
-    placement:
-        Placement policy name (``"random"`` — the paper's default — or
-        ``"contiguous"``).
-    require_completion:
-        When true (default) a run that stops before every rank finished
-        (because of ``max_time_ns``/``max_events``) raises ``RuntimeError``;
-        otherwise the partial result is returned with ``completed=False``.
+    ``placement`` may be a policy name or an already-constructed
+    :class:`~repro.placement.Placement` instance.
     """
     if not specs:
         raise ValueError("at least one application spec is required")
+    # Key jobs by canonical application name regardless of how this run was
+    # entered (Scenario already canonicalizes; the Placement-instance path
+    # must match so RunResult keys never depend on the placement type).
+    specs = [
+        spec
+        if resolve_application(spec.name) == spec.name
+        else AppSpec(resolve_application(spec.name), spec.num_ranks, dict(spec.kwargs))
+        for spec in specs
+    ]
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate job names in {names}; give co-runs distinct names")
@@ -103,7 +111,7 @@ def run_workloads(
     network = DragonflyNetwork(sim, config)
     engine = MpiEngine(network)
     allocator = NodeAllocator(network.num_nodes)
-    policy = create_placement(placement)
+    policy = placement if isinstance(placement, Placement) else create_placement(placement)
     placement_rng = network.rng.get("placement")
 
     applications: Dict[str, Application] = {}
@@ -137,8 +145,45 @@ def run_workloads(
     )
 
 
+def run_workloads(
+    config: SimulationConfig,
+    specs: Sequence[AppSpec],
+    placement: Union[str, Placement] = "random",
+    require_completion: bool = True,
+) -> RunResult:
+    """Run the applications described by ``specs`` on one Dragonfly system.
+
+    This is a thin wrapper over :meth:`repro.experiments.scenario.Scenario.run`:
+    the arguments are packed into an ad-hoc scenario and executed.  Prefer
+    building a :class:`~repro.experiments.scenario.Scenario` directly when
+    the experiment should be named, serialized, or swept.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (system shape, routing algorithm, seed…).
+    specs:
+        One :class:`AppSpec` per co-running job.
+    placement:
+        Placement policy name (``"random"`` — the paper's default — or
+        ``"contiguous"``), or a :class:`~repro.placement.Placement` instance.
+    require_completion:
+        When true (default) a run that stops before every rank finished
+        (because of ``max_time_ns``/``max_events``) raises ``RuntimeError``;
+        otherwise the partial result is returned with ``completed=False``.
+    """
+    if isinstance(placement, Placement):
+        # Placement instances cannot be named/serialized, so they bypass the
+        # Scenario wrapper and go straight to the execution core.
+        return _execute(config, list(specs), placement, require_completion)
+    from repro.experiments.scenario import Scenario
+
+    scenario = Scenario(name="adhoc", jobs=tuple(specs), config=config, placement=placement)
+    return scenario.run(require_completion=require_completion)
+
+
 def run_standalone(
-    config: SimulationConfig, spec: AppSpec, placement: str = "random"
+    config: SimulationConfig, spec: AppSpec, placement: Union[str, Placement] = "random"
 ) -> RunResult:
     """Run a single application alone on the system (interference-free baseline)."""
     return run_workloads(config, [spec], placement=placement)

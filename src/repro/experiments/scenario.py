@@ -1,0 +1,453 @@
+"""Declarative scenarios: one serializable description for every experiment.
+
+A :class:`Scenario` is the single canonical description of one simulation
+run — a name, the hardware (:class:`~repro.config.SystemConfig`), the routing
+selection (:class:`~repro.config.RoutingConfig`), the experiment-level knobs
+(seed, protocol thresholds, stop conditions), a placement policy and a list
+of :class:`~repro.experiments.configs.AppSpec` jobs.  Everything else in the
+experiment layer is defined in terms of it:
+
+* ``Scenario.run()`` is the execution facade —
+  :func:`repro.experiments.runner.run_workloads` and ``run_standalone`` are
+  thin wrappers that build an ad-hoc scenario and run it;
+* :func:`repro.experiments.sweep.run_sweep` fans lists of scenarios across
+  worker processes and keys its on-disk cache by :func:`scenario_hash`;
+* the ``dragonfly-sim run``/``scenarios`` CLI subcommands (and
+  ``--dump-scenario`` on every study subcommand) read and write scenarios as
+  JSON files.
+
+Serialization is **strict and round-trip exact**: ``to_dict``/``from_dict``
+reject unknown keys at every level, validate routing/placement/workload
+names against their registries at parse time, and guarantee
+``Scenario.from_json(s.to_json()) == s``.  The canonical JSON form (sorted
+keys, compact separators) is the cache-key material, so two equal scenarios
+always share one cache entry.
+
+See ``docs/scenarios.md`` for the on-disk format specification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.config import RoutingConfig, SimulationConfig, SystemConfig
+from repro.experiments.configs import (
+    BENCH_RANKS,
+    bench_config,
+    bench_spec,
+    mixed_workload_specs,
+    pairwise_specs,
+)
+from repro.experiments.configs import AppSpec
+from repro.placement import PLACEMENTS
+from repro.workloads import resolve_application
+
+__all__ = [
+    "CACHE_VERSION",
+    "Scenario",
+    "dump_scenarios",
+    "expand_grid",
+    "get_scenario",
+    "load_scenarios",
+    "mixed_scenario",
+    "pairwise_scenario",
+    "register_scenario",
+    "scenario_hash",
+    "scenario_names",
+    "table1_scenario",
+]
+
+#: Cache-format version.  Bump whenever simulator changes alter numeric
+#: results or the canonical serialization changes, which orphans (rather
+#: than corrupts) old sweep-cache entries.  Version 2 switched the cache key
+#: from ``SweepPoint`` hashes to canonical ``Scenario`` hashes.
+CACHE_VERSION = 2
+
+#: SimulationConfig fields that belong to the scenario's ``"sim"`` section
+#: (everything except the nested system/routing dataclasses).
+_SIM_KNOBS: Tuple[str, ...] = tuple(
+    sorted(f.name for f in fields(SimulationConfig) if f.name not in ("system", "routing"))
+)
+
+_TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
+_JOB_KEYS = frozenset({"name", "num_ranks", "kwargs"})
+
+
+def _strict_dataclass(cls, data: dict, where: str):
+    """Build dataclass ``cls`` from ``data``, rejecting unknown keys."""
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario section {where!r} must be an object, got {type(data).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(f"unknown keys {unknown} in scenario section {where!r}")
+    return cls(**data)
+
+
+def _job_to_dict(spec: AppSpec) -> dict:
+    return {"name": spec.name, "num_ranks": spec.num_ranks, "kwargs": dict(spec.kwargs)}
+
+
+def _job_from_dict(data: dict, index: int) -> AppSpec:
+    where = f"jobs[{index}]"
+    if not isinstance(data, dict):
+        raise ValueError(f"{where} must be an object, got {type(data).__name__}")
+    unknown = sorted(set(data) - _JOB_KEYS)
+    if unknown:
+        raise ValueError(f"unknown keys {unknown} in {where}")
+    for key in ("name", "num_ranks"):
+        if key not in data:
+            raise ValueError(f"{where} is missing required key {key!r}")
+    kwargs = data.get("kwargs", {})
+    if not isinstance(kwargs, dict):
+        raise ValueError(f"{where}.kwargs must be an object")
+    return AppSpec(data["name"], data["num_ranks"], dict(kwargs))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment: system + routing + knobs + placement + jobs.
+
+    Construction validates everything eagerly — job names against the
+    workload registry (and canonicalizes their case), the placement policy
+    against :data:`repro.placement.PLACEMENTS`, and (via
+    :class:`~repro.config.RoutingConfig` itself) the routing algorithm — so a
+    bad scenario fails when it is *described*, not minutes later inside a
+    worker process.
+    """
+
+    name: str
+    jobs: Tuple[AppSpec, ...]
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    placement: str = "random"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ValueError("a scenario needs a non-empty name")
+        if not isinstance(self.config, SimulationConfig):
+            raise TypeError(f"config must be a SimulationConfig, got {type(self.config).__name__}")
+        jobs = tuple(self.jobs)
+        if not jobs:
+            raise ValueError("at least one application spec is required")
+        canonical: List[AppSpec] = []
+        for spec in jobs:
+            app = resolve_application(spec.name)
+            if spec.num_ranks < 1:
+                raise ValueError(f"job {spec.name!r} needs a positive rank count")
+            canonical.append(spec if app == spec.name else AppSpec(app, spec.num_ranks, dict(spec.kwargs)))
+        names = [spec.name for spec in canonical]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names in {names}; give co-runs distinct names")
+        object.__setattr__(self, "jobs", tuple(canonical))
+        if not isinstance(self.placement, str):
+            raise TypeError("placement must be a policy name; pass Placement instances to run_workloads")
+        placement = self.placement.strip().lower()
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; choose from {list(PLACEMENTS)}"
+            )
+        object.__setattr__(self, "placement", placement)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """Plain-dict form: ``{name, system, routing, sim, placement, jobs}``."""
+        config = self.config
+        return {
+            "name": self.name,
+            "system": {f.name: getattr(config.system, f.name) for f in fields(SystemConfig)},
+            "routing": {f.name: getattr(config.routing, f.name) for f in fields(RoutingConfig)},
+            "sim": {knob: getattr(config, knob) for knob in _SIM_KNOBS},
+            "placement": self.placement,
+            "jobs": [_job_to_dict(spec) for spec in self.jobs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Parse the strict dict form (unknown keys rejected at every level)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"a scenario must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - _TOP_KEYS)
+        if unknown:
+            raise ValueError(f"unknown scenario keys {unknown}; expected {sorted(_TOP_KEYS)}")
+        for key in ("name", "jobs"):
+            if key not in data:
+                raise ValueError(f"a scenario is missing required key {key!r}")
+        if not isinstance(data["jobs"], list):
+            raise ValueError("scenario 'jobs' must be a list")
+        sim = data.get("sim", {})
+        if not isinstance(sim, dict):
+            raise ValueError("scenario section 'sim' must be an object")
+        unknown_sim = sorted(set(sim) - set(_SIM_KNOBS))
+        if unknown_sim:
+            raise ValueError(f"unknown keys {unknown_sim} in scenario section 'sim'")
+        # Omitted sections fall back to SimulationConfig's own defaults (the
+        # 72-node bench system, ugal-g routing) rather than re-deriving them.
+        config_kwargs = dict(sim)
+        if "system" in data:
+            config_kwargs["system"] = _strict_dataclass(SystemConfig, data["system"], "system")
+        if "routing" in data:
+            config_kwargs["routing"] = _strict_dataclass(RoutingConfig, data["routing"], "routing")
+        config = SimulationConfig(**config_kwargs)
+        jobs = tuple(_job_from_dict(job, index) for index, job in enumerate(data["jobs"]))
+        return cls(
+            name=data["name"],
+            jobs=jobs,
+            config=config,
+            placement=data.get("placement", "random"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Human-readable JSON form (``indent=None`` for compact output)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from its JSON form."""
+        return cls.from_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        """Canonical JSON (sorted keys, compact separators) — cache-key material."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    # ---------------------------------------------------------------- variation
+    def with_updates(
+        self,
+        *,
+        name: Optional[str] = None,
+        routing: Optional[str] = None,
+        placement: Optional[str] = None,
+        seed: Optional[int] = None,
+        system: Optional[SystemConfig] = None,
+        scale: Optional[float] = None,
+    ) -> "Scenario":
+        """Copy of this scenario with selected axes replaced (used by grids).
+
+        ``scale`` overrides the ``scale`` kwarg of **every** job (the
+        message-volume knob all bundled workloads accept).
+        """
+        config = self.config
+        if routing is not None:
+            config = config.with_routing(routing)
+        if seed is not None:
+            config = config.with_seed(seed)
+        if system is not None:
+            config = config.with_system(system)
+        jobs = self.jobs
+        if scale is not None:
+            jobs = tuple(
+                AppSpec(spec.name, spec.num_ranks, {**spec.kwargs, "scale": scale})
+                for spec in self.jobs
+            )
+        return replace(
+            self,
+            name=name if name is not None else self.name,
+            jobs=jobs,
+            config=config,
+            placement=placement if placement is not None else self.placement,
+        )
+
+    # ---------------------------------------------------------------- execution
+    def run(self, require_completion: bool = True):
+        """Build the full simulator stack for this scenario and run it.
+
+        Returns a :class:`repro.experiments.runner.RunResult`.  This is the
+        execution facade every other entry point (``run_workloads``,
+        ``run_standalone``, the sweep workers, the CLI) goes through.
+        """
+        from repro.experiments.runner import _execute
+
+        return _execute(self.config, list(self.jobs), self.placement, require_completion)
+
+
+def scenario_hash(scenario: Scenario) -> str:
+    """Stable cache key: sha256 over the canonically-serialized scenario.
+
+    Covers every field of the scenario (including resolved config defaults)
+    plus :data:`CACHE_VERSION`, so equal scenarios share one cache entry and
+    any change to the simulation description invalidates old entries.
+    """
+    payload = {"version": CACHE_VERSION, "scenario": scenario.to_dict()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+# -------------------------------------------------------------------- grids
+def expand_grid(
+    base: Union[Scenario, Sequence[Scenario]],
+    routings: Optional[Sequence[str]] = None,
+    placements: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Scenario]:
+    """Expand scenario template(s) along declared axes into a grid.
+
+    Every base scenario — standalone, pairwise or mixed alike — is copied
+    once per cell of ``routings × placements × seeds`` (an omitted axis keeps
+    the base value).  Expanded names are deterministic
+    (``base[par,contiguous,seed=2]``), so re-running the same grid hits the
+    same sweep-cache entries.
+    """
+    bases = [base] if isinstance(base, Scenario) else list(base)
+    if not bases:
+        raise ValueError("expand_grid needs at least one base scenario")
+    routing_axis: List[Optional[str]] = list(routings) if routings else [None]
+    placement_axis: List[Optional[str]] = list(placements) if placements else [None]
+    seed_axis: List[Optional[int]] = list(seeds) if seeds else [None]
+
+    grid: List[Scenario] = []
+    for template, routing, placement, seed in itertools.product(
+        bases, routing_axis, placement_axis, seed_axis
+    ):
+        expanded = template.with_updates(routing=routing, placement=placement, seed=seed)
+        parts = []
+        if routing is not None:
+            parts.append(expanded.config.routing.algorithm)
+        if placement is not None:
+            parts.append(expanded.placement)
+        if seed is not None:
+            parts.append(f"seed={seed}")
+        name = f"{template.name}[{','.join(parts)}]" if parts else template.name
+        grid.append(expanded.with_updates(name=name))
+    return grid
+
+
+# ----------------------------------------------------------- scenario library
+def table1_scenario(
+    app: str, routing: str = "par", seed: int = 1, scale: float = 1.0
+) -> Scenario:
+    """Standalone benchmark-scale scenario for one application (Table I row)."""
+    app = resolve_application(app)
+    return Scenario(
+        name=f"table1/{app}",
+        jobs=(bench_spec(app, scale=scale),),
+        config=bench_config(routing, seed=seed),
+    )
+
+
+def pairwise_scenario(
+    target: str,
+    background: Optional[str],
+    routing: str = "par",
+    seed: int = 1,
+    scale: float = 1.0,
+    target_ranks: Optional[int] = None,
+    background_ranks: Optional[int] = None,
+    config: Optional[SimulationConfig] = None,
+) -> Scenario:
+    """Pairwise co-run scenario (``background=None`` -> standalone baseline).
+
+    Uses the same specs as :func:`repro.analysis.pairwise.pairwise_study`'s
+    interfered run, so sweeping this scenario reproduces the study's co-run
+    metrics bit-for-bit.  ``config`` overrides the default
+    :func:`~repro.experiments.configs.bench_config` (e.g. for tiny test
+    systems).
+    """
+    target = resolve_application(target)
+    if background is not None:
+        background = resolve_application(background)
+    name = f"pairwise/{target}+{background}" if background else f"pairwise/{target}"
+    return Scenario(
+        name=name,
+        jobs=tuple(
+            pairwise_specs(
+                target,
+                background,
+                scale=scale,
+                target_ranks=target_ranks,
+                background_ranks=background_ranks,
+            )
+        ),
+        config=config if config is not None else bench_config(routing, seed=seed),
+    )
+
+
+def mixed_scenario(
+    routing: str = "par",
+    seed: int = 1,
+    total_nodes: int = 70,
+    scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+) -> Scenario:
+    """The Table II mixed workload (six applications co-running)."""
+    return Scenario(
+        name="mixed/table2",
+        jobs=tuple(mixed_workload_specs(total_nodes=total_nodes, scale=scale)),
+        config=config if config is not None else bench_config(routing, seed=seed),
+    )
+
+
+#: Registry of named scenarios: name -> zero-argument factory.  Factories
+#: (rather than instances) keep import cheap and let presets track registry
+#: defaults; ``get_scenario`` builds a fresh Scenario per call.
+_SCENARIO_FACTORIES: Dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(
+    name: str, factory: Callable[[], Scenario], overwrite: bool = False
+) -> None:
+    """Register a named scenario factory for ``get_scenario``/the CLI."""
+    if not overwrite and name in _SCENARIO_FACTORIES:
+        raise ValueError(f"scenario {name!r} is already registered")
+    _SCENARIO_FACTORIES[name] = factory
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_SCENARIO_FACTORIES)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Build the registered scenario ``name`` (fresh instance per call)."""
+    factory = _SCENARIO_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown scenario {name!r}; choose from {scenario_names()}")
+    return factory()
+
+
+def _register_builtin_library() -> None:
+    from functools import partial
+
+    for app in BENCH_RANKS:
+        register_scenario(f"table1/{app}", partial(table1_scenario, app))
+    # The pairwise presets the paper's figures revolve around: Fig. 5
+    # (FFT3D vs Halo3D), Figs 7-8 (LQCD vs Stencil5D), Fig. 9 (CosmoFlow vs
+    # Halo3D) and the classic bursty-background stressor (FFT3D vs UR).
+    for target, background in [
+        ("FFT3D", "Halo3D"),
+        ("LQCD", "Stencil5D"),
+        ("CosmoFlow", "Halo3D"),
+        ("FFT3D", "UR"),
+    ]:
+        register_scenario(
+            f"pairwise/{target}+{background}", partial(pairwise_scenario, target, background)
+        )
+    register_scenario("mixed/table2", mixed_scenario)
+
+
+_register_builtin_library()
+
+
+# ------------------------------------------------------------------- file I/O
+def load_scenarios(path: Union[str, Path]) -> List[Scenario]:
+    """Load scenario(s) from a JSON file (one object or a list of objects)."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, dict):
+        return [Scenario.from_dict(payload)]
+    if isinstance(payload, list):
+        return [Scenario.from_dict(item) for item in payload]
+    raise ValueError(f"{path}: a scenario file must hold an object or a list of objects")
+
+
+def dump_scenarios(path: Union[str, Path], scenarios: Iterable[Scenario]) -> Path:
+    """Write scenario(s) as JSON (a single object, or a list when several)."""
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ValueError("nothing to dump: no scenarios given")
+    payload = scenarios[0].to_dict() if len(scenarios) == 1 else [s.to_dict() for s in scenarios]
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,30 +1,37 @@
 """Parallel experiment sweeps with cached, seed-deterministic results.
 
-A *sweep* fans a grid of ``(routing, placement, workload, seed)`` simulation
-configurations across :mod:`multiprocessing` workers.  Every point is reduced
-to a JSON-serializable metrics dict, and results are cached on disk keyed by
-a hash of the point's configuration, so re-running a sweep only simulates the
-points whose configuration changed.
+A *sweep* fans a list of :class:`~repro.experiments.scenario.Scenario`
+descriptions across :mod:`multiprocessing` workers.  Every scenario is
+reduced to a JSON-serializable metrics dict, and results are cached on disk
+keyed by :func:`~repro.experiments.scenario.scenario_hash` (the hash of the
+canonically-serialized scenario), so re-running a sweep only simulates the
+scenarios whose description changed.  Because the unit of work is a full
+scenario, pairwise co-runs and the mixed workload sweep exactly like
+standalone runs — build the grid with
+:func:`repro.experiments.scenario.expand_grid`.
 
 Design notes:
 
-* every worker builds its own simulator stack from the plain
-  :class:`SweepPoint` description — nothing simulation-scoped crosses the
-  process boundary, so results are bit-identical whether a point runs in the
-  parent process (``workers=1``) or in a pool;
-* the cache key covers every field that influences the simulation plus a
-  ``CACHE_VERSION`` bumped whenever the simulator's numeric behaviour
-  changes;
+* every worker rebuilds its own simulator stack from the plain
+  :class:`Scenario` description — nothing simulation-scoped crosses the
+  process boundary, so results are bit-identical whether a scenario runs in
+  the parent process (``workers=1``) or in a pool;
+* the cache key covers the entire canonical scenario serialization plus
+  :data:`CACHE_VERSION`, bumped whenever the simulator's numeric behaviour
+  (or the serialization itself) changes;
 * cache files are written atomically (tmp file + rename) so a crashed or
   parallel sweep never leaves a truncated JSON behind.
 
+:class:`SweepPoint` — the original single-workload grid cell — is kept as a
+**deprecated shim** that converts to a single-job scenario via
+``to_scenario()``; ``run_sweep`` accepts mixed lists of points and scenarios.
+
 Used by the ``dragonfly-sim sweep`` CLI subcommand and
-``examples/sweep_grid.py``.
+``examples/sweep_grid.py``; see docs/sweep.md.
 """
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 import os
@@ -32,21 +39,20 @@ import tempfile
 from dataclasses import asdict, dataclass
 from multiprocessing import Pool
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.config import SimulationConfig, paper_system, small_system, tiny_system
+from repro.experiments.scenario import CACHE_VERSION, Scenario, expand_grid, scenario_hash
 
 __all__ = [
     "CACHE_VERSION",
     "SweepPoint",
     "SweepResult",
     "build_grid",
+    "expand_grid",
     "point_hash",
     "run_sweep",
 ]
-
-#: Bump when simulator changes alter numeric results, invalidating old caches.
-CACHE_VERSION = 1
 
 _SYSTEMS = {
     "tiny": tiny_system,
@@ -57,7 +63,16 @@ _SYSTEMS = {
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One cell of a sweep grid: a fully-specified simulation configuration."""
+    """One cell of a single-workload sweep grid.
+
+    .. deprecated::
+        ``SweepPoint`` predates the declarative scenario API and can only
+        describe standalone runs.  It is kept as a shim — ``to_scenario()``
+        converts it to the equivalent single-job
+        :class:`~repro.experiments.scenario.Scenario`, which is what
+        ``run_sweep`` actually executes and caches.  New code should build
+        scenarios (see :func:`repro.experiments.scenario.expand_grid`).
+    """
 
     workload: str
     routing: str = "par"
@@ -96,51 +111,78 @@ class SweepPoint:
         object.__setattr__(self, "placement", placement)
 
     def as_dict(self) -> dict:
-        """Plain-dict form (cache key material and report rows)."""
+        """Plain-dict form (report rows)."""
         return asdict(self)
+
+    def to_scenario(self) -> Scenario:
+        """The single-job scenario this point describes (the executable form)."""
+        from repro.experiments.configs import BENCH_LINK_BANDWIDTH_GBPS, bench_spec
+
+        bandwidth = (
+            self.link_bandwidth_gbps
+            if self.link_bandwidth_gbps is not None
+            else BENCH_LINK_BANDWIDTH_GBPS
+        )
+        system = _SYSTEMS[self.system]().scaled(link_bandwidth_gbps=bandwidth)
+        config = SimulationConfig(
+            system=system, seed=self.seed, record_packets=True
+        ).with_routing(self.routing)
+        return Scenario(
+            name=f"sweep/{self.workload}",
+            jobs=(bench_spec(self.workload, num_ranks=self.ranks, scale=self.scale),),
+            config=config,
+            placement=self.placement,
+        )
 
 
 @dataclass
 class SweepResult:
-    """Outcome of one sweep point.
+    """Outcome of one sweep cell.
 
     ``metrics`` holds only simulation-determined values — two runs of the
-    same point produce identical ``metrics`` regardless of worker count —
+    same scenario produce identical ``metrics`` regardless of worker count —
     while ``wall_seconds`` and ``cached`` describe this particular execution.
+    ``point`` is set when the cell was given as a (deprecated)
+    :class:`SweepPoint` so its report rows keep the original columns.
     """
 
-    point: SweepPoint
     metrics: Dict[str, float]
     wall_seconds: float
     cached: bool = False
+    scenario: Optional[Scenario] = None
+    point: Optional[SweepPoint] = None
 
     def as_row(self) -> dict:
         """Flat dict row for tabular reports."""
-        row = self.point.as_dict()
-        if row.get("link_bandwidth_gbps") is None:
-            # Drop the column only when it carries no information; a grid
-            # that sweeps bandwidth needs it to tell its rows apart.
-            row.pop("link_bandwidth_gbps", None)
+        if self.point is not None:
+            row = self.point.as_dict()
+            if row.get("link_bandwidth_gbps") is None:
+                # Drop the column only when it carries no information; a grid
+                # that sweeps bandwidth needs it to tell its rows apart.
+                row.pop("link_bandwidth_gbps", None)
+        else:
+            scenario = self.scenario
+            row = {
+                "scenario": scenario.name,
+                "jobs": "+".join(spec.name for spec in scenario.jobs),
+                "routing": scenario.config.routing.algorithm,
+                "placement": scenario.placement,
+                "seed": scenario.config.seed,
+            }
         row.update(self.metrics)
         row["cached"] = self.cached
         return row
 
 
-def point_hash(point: SweepPoint) -> str:
-    """Stable cache key of a sweep point (sha256 over canonical JSON).
+def point_hash(point: Union[SweepPoint, Scenario]) -> str:
+    """Stable cache key of one sweep cell.
 
-    The key covers the point fields *and* the fully-resolved
-    :class:`SimulationConfig` they expand to, so a change to a named system
-    shape, the default bench bandwidth or a routing hyperparameter default
-    invalidates old entries without a manual ``CACHE_VERSION`` bump.
+    Equals :func:`~repro.experiments.scenario.scenario_hash` of the cell's
+    scenario form, so a :class:`SweepPoint` and the :class:`Scenario` it
+    converts to share one cache entry.
     """
-    payload = {
-        "version": CACHE_VERSION,
-        **point.as_dict(),
-        "resolved_config": asdict(_build_config(point)),
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+    scenario = point.to_scenario() if isinstance(point, SweepPoint) else point
+    return scenario_hash(scenario)
 
 
 def build_grid(
@@ -153,7 +195,9 @@ def build_grid(
     """Cartesian product of the axes as a list of :class:`SweepPoint`.
 
     ``common`` keyword arguments (``scale``, ``system``, ``ranks``…) are
-    applied to every point.
+    applied to every point.  (Single-workload grids only; use
+    :func:`repro.experiments.scenario.expand_grid` to sweep arbitrary
+    scenarios, including pairwise and mixed co-runs.)
     """
     return [
         SweepPoint(
@@ -166,63 +210,51 @@ def build_grid(
 
 
 # ---------------------------------------------------------------- execution
-def _build_config(point: SweepPoint) -> SimulationConfig:
-    """Simulation configuration for one point (importable, hence picklable)."""
-    from repro.experiments.configs import BENCH_LINK_BANDWIDTH_GBPS
-
-    bandwidth = (
-        point.link_bandwidth_gbps
-        if point.link_bandwidth_gbps is not None
-        else BENCH_LINK_BANDWIDTH_GBPS
-    )
-    system = _SYSTEMS[point.system]().scaled(link_bandwidth_gbps=bandwidth)
-    config = SimulationConfig(system=system, seed=point.seed, record_packets=True)
-    return config.with_routing(point.routing)
-
-
-def _run_point(point: SweepPoint) -> SweepResult:
-    """Simulate one point and reduce it to JSON-serializable metrics."""
-    from repro.experiments.configs import bench_spec
-    from repro.experiments.runner import run_workloads
-
-    config = _build_config(point)
-    spec = bench_spec(point.workload, num_ranks=point.ranks, scale=point.scale)
-    result = run_workloads(config, [spec], placement=point.placement)
-
-    record = result.record(point.workload)
+def _run_scenario(scenario: Scenario) -> SweepResult:
+    """Simulate one scenario and reduce it to JSON-serializable metrics."""
+    result = scenario.run()
     stats = result.stats
     metrics = {
         "makespan_ns": float(result.makespan_ns),
         "events_fired": int(result.sim.events_fired),
-        "mean_comm_time_ns": float(record.mean_comm_time),
         "packets_injected": int(stats.total_packets_injected),
         "packets_ejected": int(stats.total_packets_ejected),
         "bytes_ejected": int(stats.total_bytes_ejected),
         "total_port_stall_ns": float(stats.port_stall.total()),
     }
-    return SweepResult(point=point, metrics=metrics, wall_seconds=result.wall_seconds)
+    comm_times = []
+    for name, job in result.jobs.items():
+        comm = float(job.record.mean_comm_time)
+        metrics[f"comm_time_ns/{name}"] = comm
+        comm_times.append(comm)
+    # Aggregate column every row shares (equals the job's own value for
+    # single-job scenarios, matching the pre-scenario sweep layout).
+    metrics["mean_comm_time_ns"] = float(sum(comm_times) / len(comm_times))
+    return SweepResult(metrics=metrics, wall_seconds=result.wall_seconds, scenario=scenario)
 
 
-def _load_cached(path: Path, point: SweepPoint) -> Optional[SweepResult]:
+def _load_cached(path: Path, scenario: Scenario) -> Optional[SweepResult]:
     try:
         payload = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
-    if payload.get("point") != point.as_dict():
+    if payload.get("version") != CACHE_VERSION:
+        return None
+    if payload.get("scenario") != scenario.to_dict():
         # Hash collision or stale layout: re-run rather than trust it.
         return None
     return SweepResult(
-        point=point,
         metrics=payload["metrics"],
         wall_seconds=float(payload.get("wall_seconds", 0.0)),
         cached=True,
+        scenario=scenario,
     )
 
 
 def _store_cached(path: Path, result: SweepResult) -> None:
     payload = {
         "version": CACHE_VERSION,
-        "point": result.point.as_dict(),
+        "scenario": result.scenario.to_dict(),
         "metrics": result.metrics,
         "wall_seconds": result.wall_seconds,
     }
@@ -241,63 +273,81 @@ def _store_cached(path: Path, result: SweepResult) -> None:
 
 
 def run_sweep(
-    points: Iterable[SweepPoint],
+    points: Iterable[Union[SweepPoint, Scenario]],
     workers: int = 1,
     cache_dir: Optional[str] = None,
     progress=None,
 ) -> List[SweepResult]:
-    """Run every point of a sweep, in parallel, with optional result caching.
+    """Run every cell of a sweep, in parallel, with optional result caching.
 
     Parameters
     ----------
     points:
-        The grid (see :func:`build_grid`).  Results come back in input order.
+        The grid — :class:`Scenario` objects (see
+        :func:`repro.experiments.scenario.expand_grid`) and/or deprecated
+        :class:`SweepPoint` cells.  Results come back in input order.
     workers:
-        Worker processes for the uncached points.  ``1`` runs everything in
+        Worker processes for the uncached cells.  ``1`` runs everything in
         this process (bit-identical to the parallel path — see module notes).
     cache_dir:
         Directory of ``<hash>.json`` result files.  ``None`` disables caching.
     progress:
         Optional callable invoked as ``progress(done, total, result)`` after
-        every completed point.
+        every completed cell.
     """
-    points = list(points)
-    results: List[Optional[SweepResult]] = [None] * len(points)
+    items = list(points)
+    scenarios: List[Scenario] = []
+    origins: List[Optional[SweepPoint]] = []
+    for item in items:
+        if isinstance(item, SweepPoint):
+            scenarios.append(item.to_scenario())
+            origins.append(item)
+        elif isinstance(item, Scenario):
+            scenarios.append(item)
+            origins.append(None)
+        else:
+            raise TypeError(
+                f"run_sweep expects Scenario or SweepPoint cells, got {type(item).__name__}"
+            )
+
+    results: List[Optional[SweepResult]] = [None] * len(scenarios)
     cache = Path(cache_dir) if cache_dir is not None else None
+
+    def finish(index: int, result: SweepResult, store: bool) -> None:
+        result.point = origins[index]
+        results[index] = result
+        if store and cache is not None:
+            _store_cached(cache / f"{scenario_hash(result.scenario)}.json", result)
 
     pending: List[int] = []
     done = 0
-    for index, point in enumerate(points):
+    for index, scenario in enumerate(scenarios):
         if cache is not None:
-            cached = _load_cached(cache / f"{point_hash(point)}.json", point)
+            cached = _load_cached(cache / f"{scenario_hash(scenario)}.json", scenario)
             if cached is not None:
-                results[index] = cached
+                finish(index, cached, store=False)
                 done += 1
                 if progress is not None:
-                    progress(done, len(points), cached)
+                    progress(done, len(scenarios), cached)
                 continue
         pending.append(index)
 
     if pending:
         workers = max(1, min(workers, len(pending), os.cpu_count() or 1))
         if workers == 1:
-            fresh = map(_run_point, (points[i] for i in pending))
+            fresh = map(_run_scenario, (scenarios[i] for i in pending))
+        else:
+            pool = Pool(processes=workers)
+            fresh = pool.imap(_run_scenario, [scenarios[i] for i in pending])
+        try:
             for index, result in zip(pending, fresh):
-                results[index] = result
-                if cache is not None:
-                    _store_cached(cache / f"{point_hash(result.point)}.json", result)
+                finish(index, result, store=True)
                 done += 1
                 if progress is not None:
-                    progress(done, len(points), result)
-        else:
-            with Pool(processes=workers) as pool:
-                iterator = pool.imap(_run_point, [points[i] for i in pending])
-                for index, result in zip(pending, iterator):
-                    results[index] = result
-                    if cache is not None:
-                        _store_cached(cache / f"{point_hash(result.point)}.json", result)
-                    done += 1
-                    if progress is not None:
-                        progress(done, len(points), result)
+                    progress(done, len(scenarios), result)
+        finally:
+            if workers > 1:
+                pool.close()
+                pool.join()
 
     return [result for result in results if result is not None]

@@ -28,7 +28,7 @@ from repro.workloads.stencil5d import Stencil5D
 from repro.workloads.cosmoflow import CosmoFlow
 from repro.workloads.dl import DL
 from repro.workloads.lulesh import LULESH
-from repro.workloads.registry import APPLICATIONS, create_application
+from repro.workloads.registry import APPLICATIONS, create_application, resolve_application
 
 __all__ = [
     "APPLICATIONS",
@@ -46,4 +46,5 @@ __all__ = [
     "create_application",
     "grid_coords",
     "grid_rank",
+    "resolve_application",
 ]

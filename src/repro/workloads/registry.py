@@ -20,7 +20,7 @@ from repro.workloads.lulesh import LULESH
 from repro.workloads.stencil5d import Stencil5D
 from repro.workloads.uniform_random import UniformRandom
 
-__all__ = ["APPLICATIONS", "create_application"]
+__all__ = ["APPLICATIONS", "create_application", "resolve_application"]
 
 #: Canonical application name -> class.
 APPLICATIONS: Dict[str, Type[Application]] = {
@@ -38,13 +38,25 @@ APPLICATIONS: Dict[str, Type[Application]] = {
 _LOWER = {name.lower(): name for name in APPLICATIONS}
 
 
+def resolve_application(name: str) -> str:
+    """Canonical application key for ``name`` (case-insensitive).
+
+    Mirrors :func:`repro.routing.resolve_algorithm` and
+    :func:`repro.placement.create_placement` so all three registries
+    validate/canonicalize names the same way.  Raises ``ValueError`` for
+    unknown names, so callers can validate workload selections before
+    building anything expensive.
+    """
+    canonical = _LOWER.get(name.strip().lower())
+    if canonical is None:
+        raise ValueError(f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}")
+    return canonical
+
+
 def create_application(name: str, num_ranks: int, **kwargs) -> Application:
     """Instantiate the application ``name`` with ``num_ranks`` ranks.
 
     ``kwargs`` are passed through to the application constructor (message
     sizes, iterations, ``scale``, ``seed``, …).  Names are case-insensitive.
     """
-    canonical = _LOWER.get(name.strip().lower())
-    if canonical is None:
-        raise ValueError(f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}")
-    return APPLICATIONS[canonical](num_ranks, **kwargs)
+    return APPLICATIONS[resolve_application(name)](num_ranks, **kwargs)

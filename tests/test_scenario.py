@@ -1,0 +1,426 @@
+"""Tests of the declarative scenario API: round-trips, hashing, registry,
+grid expansion, sweep equivalence and the scenario CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.pairwise import pairwise_study
+from repro.cli import build_parser, main
+from repro.config import RoutingConfig, SimulationConfig, tiny_system
+from repro.experiments.configs import AppSpec
+from repro.experiments.runner import run_workloads
+from repro.experiments.scenario import (
+    CACHE_VERSION,
+    Scenario,
+    dump_scenarios,
+    expand_grid,
+    get_scenario,
+    load_scenarios,
+    mixed_scenario,
+    pairwise_scenario,
+    register_scenario,
+    scenario_hash,
+    scenario_names,
+    table1_scenario,
+)
+from repro.experiments.sweep import run_sweep
+from repro.placement import RandomPlacement
+from repro.workloads import resolve_application
+
+
+def _tiny_scenario(**overrides) -> Scenario:
+    fields = dict(
+        name="test/pair",
+        jobs=(
+            AppSpec("FFT3D", 8, {"scale": 0.3}),
+            AppSpec("Halo3D", 8, {"scale": 0.3, "seed": 7, "iterations": 4}),
+        ),
+        config=SimulationConfig(system=tiny_system(), seed=3).with_routing("par"),
+        placement="random",
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+# ------------------------------------------------------------------ round-trip
+@pytest.mark.parametrize(
+    "scenario",
+    [
+        _tiny_scenario(),
+        _tiny_scenario(name="test/standalone", jobs=(AppSpec("UR", 4, {}),)),
+        _tiny_scenario(placement="contiguous"),
+        _tiny_scenario(
+            config=SimulationConfig(
+                system=tiny_system().scaled(link_bandwidth_gbps=25.0),
+                seed=9,
+                eager_threshold_bytes=2048,
+                message_overhead_ns=150.0,
+                stats_bin_ns=50_000.0,
+                record_packets=False,
+                max_time_ns=1e9,
+                max_events=1_000_000,
+            ).with_routing("q-adaptive", q_learning_rate=0.5)
+        ),
+    ],
+)
+def test_scenario_json_roundtrip_is_exact(scenario):
+    assert Scenario.from_json(scenario.to_json()) == scenario
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    # ...and through a canonical (compact) encoding as well.
+    assert Scenario.from_json(scenario.canonical_json()) == scenario
+
+
+def test_roundtrip_preserves_every_config_field():
+    scenario = _tiny_scenario()
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    for f in dataclasses.fields(type(scenario.config.system)):
+        assert getattr(rebuilt.config.system, f.name) == getattr(scenario.config.system, f.name)
+    for f in dataclasses.fields(RoutingConfig):
+        assert getattr(rebuilt.config.routing, f.name) == getattr(scenario.config.routing, f.name)
+    for f in dataclasses.fields(SimulationConfig):
+        assert getattr(rebuilt.config, f.name) == getattr(scenario.config, f.name)
+    assert rebuilt.jobs == scenario.jobs
+
+
+def test_from_dict_rejects_unknown_keys_at_every_level():
+    base = _tiny_scenario().to_dict()
+    for mutate in [
+        lambda d: d.update(extra=1),
+        lambda d: d["system"].update(warp_drive=True),
+        lambda d: d["routing"].update(tuning=1),
+        lambda d: d["sim"].update(sneaky=0),
+        lambda d: d["jobs"][0].update(priority=9),
+    ]:
+        data = json.loads(json.dumps(base))
+        mutate(data)
+        with pytest.raises(ValueError):
+            Scenario.from_dict(data)
+
+
+def test_from_dict_requires_name_and_jobs_but_defaults_the_rest():
+    with pytest.raises(ValueError):
+        Scenario.from_dict({"jobs": [{"name": "UR", "num_ranks": 4}]})
+    with pytest.raises(ValueError):
+        Scenario.from_dict({"name": "x"})
+    scenario = Scenario.from_dict({"name": "x", "jobs": [{"name": "UR", "num_ranks": 4}]})
+    assert scenario.placement == "random"
+    assert scenario.config == SimulationConfig()
+
+
+def test_scenario_validates_names_against_registries_at_parse_time():
+    with pytest.raises(ValueError):
+        _tiny_scenario(jobs=(AppSpec("NotAnApp", 4, {}),))
+    with pytest.raises(ValueError):
+        _tiny_scenario(placement="spread")
+    with pytest.raises(ValueError):  # routing typo caught by RoutingConfig itself
+        _tiny_scenario(config=SimulationConfig(system=tiny_system()).with_routing("ugal-x"))
+    with pytest.raises(ValueError):  # duplicate job names
+        _tiny_scenario(jobs=(AppSpec("UR", 4, {}), AppSpec("UR", 4, {})))
+    with pytest.raises(ValueError):  # empty job list
+        _tiny_scenario(jobs=())
+
+
+def test_scenario_canonicalizes_job_and_placement_names():
+    scenario = _tiny_scenario(jobs=(AppSpec("fft3d", 4, {}),), placement="Random")
+    assert scenario.jobs[0].name == "FFT3D"
+    assert scenario.placement == "random"
+
+
+# --------------------------------------------------------------------- hashing
+def test_scenario_hash_golden_value():
+    """Golden cache key: fails when the canonical serialization (or any
+    config default covered by it) changes, reminding you to bump
+    CACHE_VERSION in repro.experiments.scenario."""
+    golden = _tiny_scenario(name="golden/pairwise")
+    assert CACHE_VERSION == 2
+    assert scenario_hash(golden) == "8b866de7cf1585cd2065b74e"
+
+
+def test_scenario_hash_tracks_content_not_identity():
+    scenario = _tiny_scenario()
+    assert scenario_hash(scenario) == scenario_hash(_tiny_scenario())
+    assert scenario_hash(scenario) != scenario_hash(_tiny_scenario(name="other"))
+    assert scenario_hash(scenario) != scenario_hash(
+        _tiny_scenario(config=scenario.config.with_seed(4))
+    )
+    assert scenario_hash(scenario) != scenario_hash(
+        _tiny_scenario(config=scenario.config.with_routing("minimal"))
+    )
+    assert scenario_hash(scenario) != scenario_hash(_tiny_scenario(placement="contiguous"))
+
+
+# -------------------------------------------------------------------- registry
+def test_builtin_scenario_library():
+    names = scenario_names()
+    assert "mixed/table2" in names
+    assert "pairwise/FFT3D+Halo3D" in names
+    assert all(f"table1/{app}" in names for app in ("UR", "FFT3D", "LQCD"))
+    scenario = get_scenario("pairwise/FFT3D+Halo3D")
+    assert [spec.name for spec in scenario.jobs] == ["FFT3D", "Halo3D"]
+    assert get_scenario("mixed/table2") == mixed_scenario()
+    assert get_scenario("table1/UR") == table1_scenario("UR")
+    with pytest.raises(ValueError):
+        get_scenario("table9/UR")
+    with pytest.raises(ValueError):  # duplicate registration rejected
+        register_scenario("mixed/table2", mixed_scenario)
+
+
+# -------------------------------------------------------------- grid expansion
+def test_expand_grid_covers_axes_with_deterministic_names():
+    base = _tiny_scenario()
+    grid = expand_grid(base, routings=["par", "minimal"], seeds=[1, 2])
+    assert len(grid) == 4
+    assert [s.name for s in grid] == [
+        "test/pair[par,seed=1]",
+        "test/pair[par,seed=2]",
+        "test/pair[minimal,seed=1]",
+        "test/pair[minimal,seed=2]",
+    ]
+    assert {s.config.routing.algorithm for s in grid} == {"par", "minimal"}
+    assert {s.config.seed for s in grid} == {1, 2}
+    # Omitted axes keep the base value; re-expansion is deterministic.
+    assert all(s.placement == "random" for s in grid)
+    assert expand_grid(base, routings=["par", "minimal"], seeds=[1, 2]) == grid
+    # Alias routings canonicalize in both the config and the name.
+    (aliased,) = expand_grid(base, routings=["ugal"])
+    assert aliased.config.routing.algorithm == "ugal-g"
+    assert aliased.name == "test/pair[ugal-g]"
+
+
+# ------------------------------------------------------------------- execution
+def test_scenario_run_executes_all_jobs():
+    result = _tiny_scenario().run()
+    assert result.completed
+    assert set(result.jobs) == {"FFT3D", "Halo3D"}
+    assert result.config is _tiny_scenario().config or result.config == _tiny_scenario().config
+
+
+def test_swept_pairwise_grid_matches_serial_pairwise_study_bit_for_bit():
+    base_config = SimulationConfig(system=tiny_system())
+    base = pairwise_scenario(
+        "FFT3D", "Halo3D", scale=0.25, target_ranks=6, background_ranks=6,
+        config=base_config,
+    )
+    grid = expand_grid(base, routings=["par", "minimal"], seeds=[1, 2])
+    results = run_sweep(grid, workers=1)
+    assert len(results) == 4
+    for scenario, result in zip(grid, results):
+        study = pairwise_study(
+            base_config.with_routing(scenario.config.routing.algorithm).with_seed(
+                scenario.config.seed
+            ),
+            "FFT3D",
+            "Halo3D",
+            scale=0.25,
+            target_ranks=6,
+            background_ranks=6,
+        )
+        # Exact float equality: the sweep runs the very same co-run.
+        assert result.metrics["comm_time_ns/FFT3D"] == float(
+            study.interfered.record("FFT3D").mean_comm_time
+        )
+        assert result.metrics["comm_time_ns/Halo3D"] == float(
+            study.interfered.record("Halo3D").mean_comm_time
+        )
+
+
+def test_scenario_sweep_caches_by_scenario_hash(tmp_path):
+    cache = tmp_path / "cache"
+    grid = expand_grid(_tiny_scenario(), seeds=[1, 2])
+    first = run_sweep(grid, workers=1, cache_dir=str(cache))
+    assert [r.cached for r in first] == [False, False]
+    assert {p.name for p in cache.glob("*.json")} == {
+        f"{scenario_hash(s)}.json" for s in grid
+    }
+    second = run_sweep(grid, workers=1, cache_dir=str(cache))
+    assert [r.cached for r in second] == [True, True]
+    for a, b in zip(first, second):
+        assert a.metrics == b.metrics
+    # Scenario rows carry the grid cell's identity.
+    row = second[0].as_row()
+    assert row["scenario"] == grid[0].name and row["jobs"] == "FFT3D+Halo3D"
+
+
+# --------------------------------------------------------------------- file IO
+def test_dump_and_load_scenario_files(tmp_path):
+    single = tmp_path / "one.json"
+    dump_scenarios(single, [_tiny_scenario()])
+    assert isinstance(json.loads(single.read_text()), dict)  # single object
+    assert load_scenarios(single) == [_tiny_scenario()]
+
+    many = tmp_path / "many.json"
+    grid = expand_grid(_tiny_scenario(), seeds=[1, 2])
+    dump_scenarios(many, grid)
+    assert load_scenarios(many) == grid
+    with pytest.raises(ValueError):
+        dump_scenarios(tmp_path / "none.json", [])
+
+
+# ------------------------------------------------------------------ satellites
+def test_routing_config_validates_and_canonicalizes_algorithm():
+    assert RoutingConfig(algorithm="ugal").algorithm == "ugal-g"
+    assert RoutingConfig(algorithm="ugalg ").algorithm == "ugal-g"  # alias + whitespace
+    assert RoutingConfig(algorithm=" Q-Adaptive ").algorithm == "q-adaptive"
+    with pytest.raises(ValueError):
+        RoutingConfig(algorithm="q-adaptve")  # a genuine typo
+    with pytest.raises(ValueError):
+        SimulationConfig().with_routing("shortest-path")
+
+
+def test_resolve_application_mirrors_other_registries():
+    assert resolve_application("fft3d") == "FFT3D"
+    assert resolve_application(" UR ") == "UR"
+    with pytest.raises(ValueError):
+        resolve_application("NotAnApp")
+
+
+def test_run_result_keys_are_canonical_for_both_placement_paths():
+    """Lowercase spec names key canonically whether placement is a name or an
+    instance, and the accessors resolve the caller's original spelling."""
+    config = SimulationConfig(system=tiny_system(), seed=3).with_routing("par")
+    spec = AppSpec("ur", 5, {"scale": 0.2})
+    by_name = run_workloads(config, [spec], placement="random")
+    by_instance = run_workloads(config, [spec], placement=RandomPlacement())
+    assert set(by_name.jobs) == set(by_instance.jobs) == {"UR"}
+    assert set(by_name.placements) == {"UR"}
+    assert by_name.record("ur").mean_comm_time == by_name.record("UR").mean_comm_time
+    assert by_name.application("ur") is by_name.application("UR")
+    with pytest.raises(ValueError):
+        by_name.record("NotAnApp")
+
+
+def test_with_updates_scale_overrides_every_job():
+    scenario = _tiny_scenario().with_updates(scale=0.5)
+    assert all(spec.kwargs["scale"] == 0.5 for spec in scenario.jobs)
+    # Non-scale kwargs survive the override.
+    assert scenario.jobs[1].kwargs["iterations"] == 4
+    # The original scenario is untouched.
+    assert all(spec.kwargs["scale"] == 0.3 for spec in _tiny_scenario().jobs)
+
+
+def test_run_workloads_accepts_placement_instance():
+    config = SimulationConfig(system=tiny_system(), seed=3).with_routing("par")
+    by_name = run_workloads(config, [AppSpec("UR", 6, {"scale": 0.3})], placement="random")
+    by_instance = run_workloads(
+        config, [AppSpec("UR", 6, {"scale": 0.3})], placement=RandomPlacement()
+    )
+    assert by_instance.completed
+    # Same policy, same seed stream -> identical placement and metrics.
+    assert by_instance.placements == by_name.placements
+    assert by_instance.record("UR").mean_comm_time == by_name.record("UR").mean_comm_time
+
+
+# ------------------------------------------------------------------------- CLI
+def test_cli_accepts_seed_and_scale_after_subcommand():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--seed", "3", "--scale", "0.5"])
+    assert args.seed == 3 and args.scale == 0.5
+    args = parser.parse_args(["--seed", "4", "table1"])
+    assert args.seed == 4
+    # Unset options stay absent (SUPPRESS) so subcommand defaults can't
+    # clobber a value given before the subcommand.
+    args = parser.parse_args(["table1"])
+    assert not hasattr(args, "seed")
+
+
+def test_cli_run_and_scenarios_subcommands(tmp_path, capsys):
+    path = tmp_path / "pair.json"
+    dump_scenarios(path, [_tiny_scenario()])
+
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "test/pair" in out and "FFT3D+Halo3D" in out
+
+    assert main(["run", str(path), "--routing", "minimal", "--seed", "5"]) == 0
+    assert "minimal" in capsys.readouterr().out
+
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed/table2" in out and "pairwise/FFT3D+Halo3D" in out
+
+    assert main(["scenarios", "table1/UR"]) == 0
+    described = json.loads(capsys.readouterr().out)
+    assert Scenario.from_dict(described) == table1_scenario("UR")
+
+
+def test_cli_dump_scenario_captures_invocations_without_simulating(tmp_path, capsys):
+    path = tmp_path / "pairwise.json"
+    assert main(
+        ["pairwise", "FFT3D", "Halo3D", "--routings", "par", "minimal",
+         "--seed", "2", "--dump-scenario", str(path)]
+    ) == 0
+    capsys.readouterr()
+    scenarios = load_scenarios(path)
+    assert [s.config.routing.algorithm for s in scenarios] == ["par", "minimal"]
+    assert all(s.config.seed == 2 for s in scenarios)
+    assert all([spec.name for spec in s.jobs] == ["FFT3D", "Halo3D"] for s in scenarios)
+
+    table1 = tmp_path / "table1.json"
+    assert main(["table1", "--dump-scenario", str(table1)]) == 0
+    capsys.readouterr()
+    assert len(load_scenarios(table1)) == 9
+
+    mixed = tmp_path / "mixed.json"
+    assert main(["mixed", "--routings", "par", "--dump-scenario", str(mixed)]) == 0
+    capsys.readouterr()
+    (mixed_sc,) = load_scenarios(mixed)
+    assert mixed_sc == mixed_scenario()
+
+    swept = tmp_path / "sweep.json"
+    assert main(
+        ["sweep", "--scenario", str(path), "--routings", "par", "--seeds", "1", "2",
+         "--dump-scenario", str(swept)]
+    ) == 0
+    capsys.readouterr()
+    assert len(load_scenarios(swept)) == 4  # 2 base scenarios x 2 seeds
+
+
+def test_cli_sweep_scenario_keeps_unswept_axes_and_applies_scale(tmp_path, capsys):
+    base = _tiny_scenario(placement="contiguous", config=_tiny_scenario().config.with_seed(42))
+    path = tmp_path / "base.json"
+    dump_scenarios(path, [base])
+    out_path = tmp_path / "expanded.json"
+    # Only --routings is given: placement/seed must keep the file's values,
+    # and --scale must reach every job.
+    assert main(
+        ["sweep", "--scenario", str(path), "--routings", "par", "minimal",
+         "--scale", "0.1", "--dump-scenario", str(out_path)]
+    ) == 0
+    capsys.readouterr()
+    expanded = load_scenarios(out_path)
+    assert len(expanded) == 2
+    assert all(s.placement == "contiguous" for s in expanded)
+    assert all(s.config.seed == 42 for s in expanded)
+    assert all(spec.kwargs["scale"] == 0.1 for s in expanded for spec in s.jobs)
+
+
+def test_cli_run_applies_scale_override(tmp_path, capsys):
+    path = tmp_path / "pair.json"
+    dump_scenarios(path, [_tiny_scenario()])
+    out_path = tmp_path / "scaled.json"
+    assert main(
+        ["run", str(path), "--scale", "0.5", "--dump-scenario", str(out_path)]
+    ) == 0
+    capsys.readouterr()
+    (scaled,) = load_scenarios(out_path)
+    assert all(spec.kwargs["scale"] == 0.5 for spec in scaled.jobs)
+
+
+def test_cli_sweep_runs_scenario_grid_with_caching(tmp_path, capsys):
+    path = tmp_path / "pair.json"
+    dump_scenarios(path, [_tiny_scenario()])
+    cache = tmp_path / "cache"
+    argv = [
+        "sweep", "--scenario", str(path), "--routings", "par", "minimal",
+        "--workers", "1", "--cache-dir", str(cache),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    # Only the axis the user passed (--routings) is expanded in the name;
+    # placement and seed keep the base scenario's values.
+    assert "test/pair[par]" in out and "test/pair[minimal]" in out
+    assert main(argv) == 0  # second run: all cells served from cache
+    out = capsys.readouterr().out
+    assert "True" in out.split("cached")[-1] or "True" in out

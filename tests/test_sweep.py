@@ -81,6 +81,18 @@ def test_as_row_keeps_explicit_bandwidth_column():
     assert swept_row["link_bandwidth_gbps"] == 25.0
 
 
+def test_sweep_point_converts_to_single_job_scenario():
+    """The deprecated SweepPoint shim expands to an equivalent Scenario."""
+    point = _tiny_point()
+    scenario = point.to_scenario()
+    assert [spec.name for spec in scenario.jobs] == ["UR"]
+    assert scenario.jobs[0].num_ranks == 8
+    assert scenario.config.routing.algorithm == "par"
+    assert scenario.config.seed == 1
+    assert scenario.config.system.num_nodes == 40  # tiny system
+    assert point_hash(point) == point_hash(scenario)  # shared cache entry
+
+
 # ------------------------------------------------------------------ execution
 def test_run_sweep_serial_produces_metrics():
     results = run_sweep([_tiny_point()], workers=1)
@@ -101,7 +113,8 @@ def test_run_sweep_caches_results(tmp_path):
     files = list(cache.glob("*.json"))
     assert len(files) == 1
     payload = json.loads(files[0].read_text())
-    assert payload["point"] == point.as_dict()
+    # The cache stores the canonically-serialized scenario, not the point.
+    assert payload["scenario"] == point.to_scenario().to_dict()
 
     second = run_sweep([point], workers=1, cache_dir=str(cache))
     assert second[0].cached
@@ -114,7 +127,7 @@ def test_run_sweep_ignores_stale_cache_entries(tmp_path):
     run_sweep([point], workers=1, cache_dir=str(cache))
     path = cache / f"{point_hash(point)}.json"
     payload = json.loads(path.read_text())
-    payload["point"]["seed"] = 999  # simulate a hash collision / stale layout
+    payload["scenario"]["sim"]["seed"] = 999  # simulate a collision / stale layout
     path.write_text(json.dumps(payload))
     results = run_sweep([point], workers=1, cache_dir=str(cache))
     assert not results[0].cached
