@@ -2,25 +2,46 @@
 
 Every benchmark regenerates the data behind one table or figure of the paper
 at **benchmark scale** (72-node system, reduced volumes — see EXPERIMENTS.md).
-Runs are cached per (kind, routing, …) so figures that share a run (e.g.
-Figs 10-13 all analyse the same mixed-workload run) do not repeat it.
+Each run is described by a :class:`~repro.experiments.scenario.Scenario`,
+executed at most once per session (:func:`run_scenario` memoizes by scenario
+hash), and recorded into a persistent :class:`~repro.results.ResultStore`
+(``benchmarks/.bench-results.sqlite``, override with ``REPRO_BENCH_STORE``).
 
-Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen the
-sweeps.
+The drivers that only need table rows (Table I/II, Figs 4 and 10) build
+them from the store via the :mod:`repro.analysis` row builders, so on a
+warm store they re-render **without running a single simulation**; the
+drivers that need full statistics (time series, latency distributions,
+stall/congestion maps) go through :func:`standalone_run`/
+:func:`pairwise_run`/:func:`mixed_run`, which share the same scenarios —
+and therefore the same store rows — as the row-based drivers.
+
+Delete the store file after changing simulator behaviour without bumping
+``CACHE_VERSION`` (the hash-keyed store cannot detect that by itself).
+
+Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen
+the sweeps.
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 from pathlib import Path
+from typing import Dict, Iterable, Optional
 
 import pytest
 
-from repro.analysis.mixed import MixedResult, mixed_study
-from repro.analysis.pairwise import PairwiseResult, pairwise_study
-from repro.experiments.configs import bench_config, bench_spec, mixed_workload_specs
-from repro.experiments.runner import RunResult, run_standalone, run_workloads
+from repro.analysis.mixed import MixedResult
+from repro.analysis.pairwise import PairwiseResult
+from repro.experiments.runner import RunResult
+from repro.experiments.scenario import (
+    Scenario,
+    mixed_scenario,
+    mixed_solo_scenarios,
+    pairwise_scenario,
+    scenario_hash,
+    table1_scenario,
+)
+from repro.results import ResultStore
 
 #: Message-volume scale used by every benchmark run.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
@@ -32,6 +53,13 @@ FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 BENCH_SEED = 7
 
 _BENCH_DIR = Path(__file__).resolve().parent
+_STORE_PATH = os.environ.get("REPRO_BENCH_STORE", str(_BENCH_DIR / ".bench-results.sqlite"))
+
+_STORE: Optional[ResultStore] = None
+#: Session-scoped RunResult memo, keyed by scenario hash.  (Scenario itself
+#: is not hashable — AppSpec carries a kwargs dict — so the content hash is
+#: the natural key, and it matches the store's.)
+_RUNS: Dict[str, RunResult] = {}
 
 
 def pytest_collection_modifyitems(config, items):
@@ -41,33 +69,89 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.bench)
 
 
-@lru_cache(maxsize=None)
+def bench_store() -> ResultStore:
+    """The benchmark suite's shared result store (opened lazily)."""
+    global _STORE
+    if _STORE is None:
+        _STORE = ResultStore(_STORE_PATH)
+    return _STORE
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Run ``scenario`` once per session and record it into the bench store."""
+    key = scenario_hash(scenario)
+    if key not in _RUNS:
+        result = scenario.run()
+        bench_store().record_run(scenario, result)
+        _RUNS[key] = result
+    return _RUNS[key]
+
+
+def ensure_stored(scenarios: Iterable[Scenario]) -> None:
+    """Simulate (and record) exactly the scenarios the store does not hold.
+
+    The row-based drivers call this before reading rows back: on a warm
+    store nothing is simulated at all.
+    """
+    for scenario in scenarios:
+        if bench_store().get(scenario) is None:
+            run_scenario(scenario)
+
+
+# ------------------------------------------------------------------ scenarios
+def standalone_scenario(name: str, routing: str, scale: float = BENCH_SCALE) -> Scenario:
+    """Benchmark-scale standalone (Table I) scenario of one application."""
+    return table1_scenario(name, routing=routing, seed=BENCH_SEED, scale=scale)
+
+
+def pairwise_scenarios(
+    target: str, background: str | None, routing: str, scale: float = BENCH_SCALE
+):
+    """(baseline, co-run-or-None) scenario pair of one pairwise study cell."""
+    baseline = pairwise_scenario(target, None, routing=routing, seed=BENCH_SEED, scale=scale)
+    interfered = (
+        pairwise_scenario(target, background, routing=routing, seed=BENCH_SEED, scale=scale)
+        if background
+        else None
+    )
+    return baseline, interfered
+
+
+def mixed_scenarios(routing: str, scale: float = BENCH_SCALE):
+    """(mixed run, per-app solo baselines) scenarios of the Table II mix."""
+    mixed = mixed_scenario(routing=routing, seed=BENCH_SEED, total_nodes=70, scale=scale)
+    solos = mixed_solo_scenarios(routing=routing, seed=BENCH_SEED, total_nodes=70, scale=scale)
+    return mixed, solos
+
+
+# ---------------------------------------------------------- full-stats helpers
 def standalone_run(name: str, routing: str, scale: float = BENCH_SCALE) -> RunResult:
     """Cached standalone run of one application under one routing."""
-    return run_standalone(bench_config(routing, seed=BENCH_SEED), bench_spec(name, scale=scale))
+    return run_scenario(standalone_scenario(name, routing, scale))
 
 
-@lru_cache(maxsize=None)
 def pairwise_run(
     target: str, background: str | None, routing: str, scale: float = BENCH_SCALE
 ) -> PairwiseResult:
     """Cached pairwise study (standalone baseline + co-run)."""
-    baseline = pairwise_run(target, None, routing, scale).standalone if background else None
-    return pairwise_study(
-        bench_config(routing, seed=BENCH_SEED),
-        target,
-        background,
-        scale=scale,
-        standalone_result=baseline,
+    baseline, interfered = pairwise_scenarios(target, background, routing, scale)
+    return PairwiseResult(
+        routing=baseline.config.routing.algorithm,
+        target=baseline.jobs[0].name,
+        background=interfered.jobs[1].name if interfered else None,
+        standalone=run_scenario(baseline),
+        interfered=run_scenario(interfered) if interfered else None,
     )
 
 
-@lru_cache(maxsize=None)
 def mixed_run(routing: str, scale: float = BENCH_SCALE) -> MixedResult:
     """Cached mixed-workload study (Table II proportions on 70 nodes)."""
-    config = bench_config(routing, seed=BENCH_SEED)
-    specs = tuple(mixed_workload_specs(total_nodes=70, scale=scale))
-    return mixed_study(config, list(specs))
+    mixed, solos = mixed_scenarios(routing, scale)
+    return MixedResult(
+        routing=mixed.config.routing.algorithm,
+        mixed=run_scenario(mixed),
+        standalone={solo.jobs[0].name: run_scenario(solo) for solo in solos},
+    )
 
 
 def routings_under_test() -> list[str]:

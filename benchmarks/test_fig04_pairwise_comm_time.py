@@ -6,26 +6,57 @@ routing algorithms.  The benchmark regenerates a representative slice of that
 matrix (full sweep with ``REPRO_BENCH_FULL=1``) and checks the qualitative
 findings: high-injection-rate backgrounds interfere most, and Q-adaptive
 keeps the target's communication time at or below adaptive routing's.
+
+The comparison rows come **from the result store**
+(`repro.analysis.pairwise.comparison_rows`): missing scenarios are simulated
+once and recorded, so a warm store regenerates the figure rows without
+running a single simulation.
 """
 
-import numpy as np
-from conftest import FULL_SWEEP, pairwise_run, routings_under_test
+from conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    FULL_SWEEP,
+    bench_store,
+    ensure_stored,
+    pairwise_scenarios,
+    routings_under_test,
+)
 
+from repro.analysis.pairwise import comparison_rows
 from repro.analysis.reports import format_table
 
 TARGETS = ["FFT3D", "LQCD"] if not FULL_SWEEP else ["FFT3D", "LU", "LQCD", "CosmoFlow", "Stencil5D", "LULESH"]
 BACKGROUNDS = [None, "UR", "Halo3D"] if not FULL_SWEEP else [None, "UR", "LU", "FFT3D", "CosmoFlow", "DL", "Halo3D"]
 
 
+def _pairs():
+    for target in TARGETS:
+        for background in BACKGROUNDS:
+            if background == target:
+                continue
+            yield target, background
+
+
 def _build_rows():
-    rows = []
+    scenarios = []
     for routing in routings_under_test():
-        for target in TARGETS:
-            for background in BACKGROUNDS:
-                if background == target:
-                    continue
-                result = pairwise_run(target, background, routing)
-                rows.append(result.as_dict())
+        for target, background in _pairs():
+            baseline, interfered = pairwise_scenarios(target, background, routing)
+            scenarios.append(baseline)
+            if interfered is not None:
+                scenarios.append(interfered)
+    ensure_stored(scenarios)
+    # One comparison_rows call per pair covers every routing at once — the
+    # full sweep would otherwise rescan the store per (routing, pair) cell.
+    rows = []
+    for target, background in _pairs():
+        rows.extend(
+            comparison_rows(
+                bench_store(), target, background,
+                routings=routings_under_test(), seed=BENCH_SEED, scale=BENCH_SCALE,
+            )
+        )
     return rows
 
 

@@ -4,20 +4,37 @@ Regenerates the standalone-vs-interfered communication times of every
 application in the Table II mix and checks the Section VI-A findings: the
 largest-peak-ingress applications (Stencil5D, LQCD) resist interference, and
 Q-adaptive reduces the average interference relative to adaptive routing.
+
+The rows come **from the result store**
+(`repro.analysis.mixed.mixed_rows_from_store`): the mixed run and its
+``mixed/solo/<App>`` baselines are simulated only when the store lacks them,
+then shared with the Figs 11-13 drivers through the session run cache.
 """
 
 import numpy as np
-from conftest import mixed_run, routings_under_test
+from conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    bench_store,
+    ensure_stored,
+    mixed_scenarios,
+    routings_under_test,
+)
 
+from repro.analysis.mixed import mixed_rows_from_store
 from repro.analysis.reports import format_table
 
 
 def _rows():
     rows = []
     for routing in routings_under_test():
-        result = mixed_run(routing)
-        for summary in result.all_summaries():
-            rows.append({"routing": routing, **summary.as_dict()})
+        mixed, solos = mixed_scenarios(routing)
+        ensure_stored([mixed, *solos])
+        rows.extend(
+            mixed_rows_from_store(
+                bench_store(), routings=[routing], seed=BENCH_SEED, scale=BENCH_SCALE
+            )
+        )
     return rows
 
 

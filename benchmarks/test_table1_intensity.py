@@ -1,32 +1,31 @@
 """Table I — application communication intensity.
 
 Regenerates the per-application rows of Table I (total message volume,
-execution time, message injection rate, peak ingress volume) from standalone
-runs and checks the orderings the paper's analysis relies on.
+execution time, message injection rate, peak ingress volume) and checks the
+orderings the paper's analysis relies on.  The rows are built **from the
+result store** (`repro.analysis.reports.table1_rows`): standalone runs are
+simulated only for scenarios the store does not already hold, so a warm
+store re-renders the table without launching a single simulation.
 """
 
-from conftest import BENCH_SCALE, standalone_run
+from conftest import BENCH_SCALE, BENCH_SEED, bench_store, ensure_stored, standalone_scenario
 
-from repro.analysis.reports import intensity_report
-from repro.metrics.intensity import injection_rate_gbps, intensity_table
+from repro.analysis.reports import intensity_report, table1_rows
 from repro.workloads import APPLICATIONS
 
 
 def _build_table():
-    applications, records = {}, {}
-    for name in APPLICATIONS:
-        result = standalone_run(name, "par")
-        applications[name] = result.application(name)
-        records[name] = result.record(name)
-    return intensity_table(applications.values(), records), applications, records
+    ensure_stored(standalone_scenario(name, "par") for name in APPLICATIONS)
+    return table1_rows(bench_store(), routing="par", seed=BENCH_SEED, scale=BENCH_SCALE)
 
 
 def test_table1_intensity(benchmark):
-    rows, applications, records = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
     print("\n" + intensity_report(rows))
 
-    rates = {name: injection_rate_gbps(record) for name, record in records.items()}
-    peaks = {name: app.peak_ingress_bytes() for name, app in applications.items()}
+    assert {row["app"] for row in rows} == set(APPLICATIONS)
+    rates = {row["app"]: row["injection_rate_gbps"] for row in rows}
+    peaks = {row["app"]: row["peak_ingress_bytes"] for row in rows}
 
     # Paper, Table I: Halo3D has by far the highest injection rate and
     # CosmoFlow the lowest; UR/LU/FFT3D have tiny peak ingress volumes while

@@ -1,31 +1,23 @@
 """Table II — mixed-workload job sizes.
 
 Checks that the benchmark-scale mixed workload allocates nodes to the six
-applications in the same proportions as the paper's Table II, and prints both
-the paper's sizes and the scaled sizes used by the Figs 10-13 benchmarks.
+applications in the same proportions as the paper's Table II.  The rows are
+built **from the result store** (`repro.analysis.reports.table2_rows`): job
+sizes come from the stored ``mixed/table2`` scenario description and the
+``comm_time_ns`` column from its recorded metrics, so a warm store
+regenerates the table without simulating.
 """
 
-from conftest import BENCH_SCALE
+from conftest import BENCH_SCALE, BENCH_SEED, bench_store, ensure_stored, mixed_scenarios
 
-from repro.analysis.reports import format_table
-from repro.experiments.configs import PAPER_TABLE2_JOB_SIZES, mixed_workload_specs
+from repro.analysis.reports import format_table, table2_rows
+from repro.experiments.configs import PAPER_TABLE2_JOB_SIZES
 
 
 def _build_rows():
-    specs = mixed_workload_specs(total_nodes=70, scale=BENCH_SCALE)
-    rows = []
-    for spec in specs:
-        paper_size = PAPER_TABLE2_JOB_SIZES[spec.name]
-        rows.append(
-            {
-                "app": spec.name,
-                "paper_nodes": paper_size,
-                "paper_fraction": paper_size / 1056.0,
-                "bench_nodes": spec.num_ranks,
-                "bench_fraction": spec.num_ranks / 70.0,
-            }
-        )
-    return rows
+    mixed, _solos = mixed_scenarios("par")
+    ensure_stored([mixed])
+    return table2_rows(bench_store(), routing="par", seed=BENCH_SEED, scale=BENCH_SCALE)
 
 
 def test_table2_mixed_workload_sizes(benchmark):
@@ -41,3 +33,5 @@ def test_table2_mixed_workload_sizes(benchmark):
     for row in rows:
         assert abs(row["bench_fraction"] - row["paper_fraction"]) < 0.08
     assert sum(r["bench_nodes"] for r in rows) <= 70
+    # Every application spent measurable time communicating in the mix.
+    assert all(row["comm_time_ns"] > 0 for row in rows)

@@ -7,19 +7,24 @@ per-application interference, the system-wide packet-latency tail, the
 aggregate throughput, and the per-group stall-time hot spots.
 
 Run with:  python examples/mixed_workload.py
+(set REPRO_SMOKE=1 for a faster one-routing, reduced-volume run)
 """
+
+import os
 
 from repro.analysis.mixed import mixed_study
 from repro.analysis.reports import format_table
 from repro.experiments.configs import bench_config, mixed_workload_specs
 
-SCALE = 0.3
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+SCALE = 0.15 if SMOKE else 0.3
+COMPARED = ("par",) if SMOKE else ("par", "q-adaptive")
 
 
 def main() -> None:
     app_rows = []
     system_rows = []
-    for routing in ("par", "q-adaptive"):
+    for routing in COMPARED:
         config = bench_config(routing=routing, seed=5)
         result = mixed_study(config, mixed_workload_specs(total_nodes=70, scale=SCALE))
         for summary in result.all_summaries():

@@ -7,20 +7,25 @@ Halo3D (the highest-injection-rate aggressor) shares the network, compared
 across UGALg, UGALn, PAR and Q-adaptive routing.
 
 Run with:  python examples/pairwise_interference.py
+(set REPRO_SMOKE=1 for a faster two-routing, reduced-volume run)
 """
+
+import os
 
 from repro.analysis.pairwise import pairwise_study
 from repro.analysis.reports import format_table
 from repro.experiments.configs import ROUTINGS, bench_config
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 TARGET = "FFT3D"
 BACKGROUND = "Halo3D"
-SCALE = 0.3
+SCALE = 0.15 if SMOKE else 0.3
+COMPARED = ["par", "q-adaptive"] if SMOKE else ROUTINGS
 
 
 def main() -> None:
     rows = []
-    for routing in ROUTINGS:
+    for routing in COMPARED:
         config = bench_config(routing=routing, seed=3)
         result = pairwise_study(config, TARGET, BACKGROUND, scale=SCALE)
         summary = result.target_summary

@@ -5,12 +5,17 @@ Builds a 72-node Dragonfly with PAR routing, runs FFT3D standalone, and prints
 the application- and network-level metrics the library collects.
 
 Run with:  python examples/quickstart.py
+(set REPRO_SMOKE=1 for a faster reduced-volume run, as the CI docs job does)
 """
+
+import os
 
 from repro.experiments.configs import AppSpec, bench_config
 from repro.experiments.runner import run_standalone
 from repro.metrics.intensity import injection_rate_gbps
 from repro.metrics.latency import latency_summary
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def main() -> None:
@@ -18,7 +23,7 @@ def main() -> None:
     config = bench_config(routing="par", seed=1)
 
     # 2. Describe the job: FFT3D on 24 nodes with benchmark-scale messages.
-    spec = AppSpec("FFT3D", 24, {"scale": 0.5})
+    spec = AppSpec("FFT3D", 24, {"scale": 0.2 if SMOKE else 0.5})
 
     # 3. Run it to completion (random placement, as in the paper).
     result = run_standalone(config, spec)

@@ -7,7 +7,10 @@ UGAL, PAR and Q-adaptive routing cope — including a peek inside a router's
 learned Q-table.
 
 Run with:  python examples/routing_deep_dive.py
+(set REPRO_SMOKE=1 for a faster reduced-traffic run)
 """
+
+import os
 
 import numpy as np
 
@@ -17,7 +20,8 @@ from repro.core.engine import Simulator
 from repro.network.network import DragonflyNetwork
 from repro.network.packet import Message
 
-MESSAGES = 400
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+MESSAGES = 120 if SMOKE else 400
 SIZE = 2048
 
 

@@ -19,6 +19,7 @@ The same workflow is available from the command line:
     dragonfly-sim sweep --scenario pair.json --routings par q-adaptive
 
 Run with:  python examples/scenario_api.py
+(set REPRO_SMOKE=1 for a faster reduced-grid run)
 """
 
 import os
@@ -35,11 +36,13 @@ from repro.experiments import (
 )
 from repro.experiments.sweep import run_sweep
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
 
 def main() -> None:
     # 1. Describe: a pairwise co-run at reduced message volume so the demo
     #    finishes in seconds (drop scale for the full benchmark volumes).
-    scenario = pairwise_scenario("FFT3D", "Halo3D", scale=0.3)
+    scenario = pairwise_scenario("FFT3D", "Halo3D", scale=0.15 if SMOKE else 0.3)
 
     # 2. Serialize: strict JSON round-trip (unknown keys are rejected).
     path = Path("pairwise_scenario.json")
@@ -55,14 +58,28 @@ def main() -> None:
         print(f"  {name:8s} mean comm time {job.record.mean_comm_time / 1e3:8.1f} us")
 
     # 4. Sweep: the co-run expands along declared axes like any scenario.
-    grid = expand_grid(scenario, routings=["par", "q-adaptive"], seeds=[1, 2])
+    #    The standalone baseline sweeps alongside it, so the store ends up
+    #    holding both halves of the Fig. 4 comparison.  Results are cached
+    #    in the SQLite result store (docs/results.md) — warm re-runs
+    #    simulate nothing, and `dragonfly-sim report pairwise/FFT3D+Halo3D
+    #    --store .sweep-cache/results.sqlite` renders the comparison rows
+    #    straight from it.
+    baseline = pairwise_scenario("FFT3D", None, scale=0.15 if SMOKE else 0.3)
+    grid = expand_grid(
+        [scenario, baseline],
+        routings=["par", "q-adaptive"],
+        seeds=[1] if SMOKE else [1, 2],
+    )
 
     def progress(done, total, res):
         origin = "cache" if res.cached else f"{res.wall_seconds:.1f}s"
         print(f"[{done}/{total}] {res.scenario.name} ({origin})", file=sys.stderr)
 
     results = run_sweep(
-        grid, workers=os.cpu_count() or 1, cache_dir=".sweep-cache", progress=progress
+        grid,
+        workers=os.cpu_count() or 1,
+        store=".sweep-cache/results.sqlite",
+        progress=progress,
     )
     print("\n=== pairwise (routing x seed) grid ===")
     print(format_table(

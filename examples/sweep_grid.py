@@ -3,8 +3,9 @@
 
 Fans a (workload x routing x seed) grid across all CPU cores with
 ``repro.experiments.sweep`` and prints a comparison table.  Results are
-cached under ``.sweep-cache/`` keyed by configuration hash, so re-running the
-script (or adding rows to the grid) only simulates the new points.
+cached in the result store ``.sweep-cache/results.sqlite`` keyed by scenario
+hash (see docs/results.md), so re-running the script (or adding rows to the
+grid) only simulates the new points.
 
 The same sweep is available from the command line:
 
@@ -17,6 +18,7 @@ same way through ``repro.experiments.scenario.expand_grid`` (see
 ``examples/scenario_api.py`` and docs/scenarios.md).
 
 Run with:  python examples/sweep_grid.py
+(set REPRO_SMOKE=1 for a faster reduced-grid run)
 """
 
 import os
@@ -25,13 +27,15 @@ import sys
 from repro.analysis.reports import format_table
 from repro.experiments.sweep import build_grid, run_sweep
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
 
 def main() -> None:
     grid = build_grid(
-        workloads=["FFT3D", "Halo3D"],
+        workloads=["FFT3D"] if SMOKE else ["FFT3D", "Halo3D"],
         routings=["par", "q-adaptive"],
-        seeds=[1, 2],
-        scale=0.3,
+        seeds=[1] if SMOKE else [1, 2],
+        scale=0.15 if SMOKE else 0.3,
     )
 
     def progress(done, total, result):
@@ -42,11 +46,11 @@ def main() -> None:
     results = run_sweep(
         grid,
         workers=os.cpu_count() or 1,
-        cache_dir=".sweep-cache",
+        store=".sweep-cache/results.sqlite",
         progress=progress,
     )
 
-    print("=== 8-point sweep on the 72-node Dragonfly ===")
+    print(f"=== {len(grid)}-point sweep on the 72-node Dragonfly ===")
     print(format_table(
         [r.as_row() for r in results],
         ["workload", "routing", "seed", "makespan_ns", "mean_comm_time_ns",

@@ -6,6 +6,15 @@ measured against per-application standalone baselines (Fig. 10), and
 system-wide behaviour is captured through stall-time maps (Fig. 11), the
 congestion-index matrix (Fig. 12) and the system packet-latency distribution
 and aggregate throughput (Fig. 13).
+
+Two paths produce the Fig. 10 interference rows:
+
+* :func:`mixed_study` simulates the mix plus its baselines and returns a
+  :class:`MixedResult` (full access to stats, stall maps, latencies);
+* :func:`mixed_rows_from_store` reads previously recorded ``mixed/table2``
+  and ``mixed/solo/<App>`` runs (see
+  :func:`repro.experiments.scenario.mixed_solo_scenarios`) back out of a
+  :class:`~repro.results.ResultStore` — same row schema, zero simulation.
 """
 
 from __future__ import annotations
@@ -22,7 +31,11 @@ from repro.metrics.congestion import congestion_index_matrix, stall_time_by_grou
 from repro.metrics.interference import InterferenceSummary, interference_summary
 from repro.metrics.latency import LatencySummary, latency_summary
 
-__all__ = ["MixedResult", "mixed_study"]
+__all__ = ["MixedResult", "mixed_rows_from_store", "mixed_study"]
+
+#: Scenario names the store-backed Fig. 10 rows are looked up under.
+MIXED_SCENARIO_NAME = "mixed/table2"
+MIXED_SOLO_PREFIX = "mixed/solo/"
 
 
 @dataclass
@@ -84,3 +97,68 @@ def mixed_study(
     return MixedResult(
         routing=config.routing.algorithm, mixed=mixed_result, standalone=baselines
     )
+
+
+def mixed_rows_from_store(
+    store,
+    routings: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+) -> List[dict]:
+    """Fig. 10 interference rows built from a result store — no simulation.
+
+    For every routing (all present when ``routings=None``), compares each
+    application's communication time in the recorded ``mixed/table2`` run
+    against its ``mixed/solo/<App>`` standalone baseline, aggregating across
+    the matching seeds.  Raises ``ValueError`` when a required run is missing
+    (populate the store by recording :func:`repro.experiments.scenario.mixed_scenario`
+    and :func:`~repro.experiments.scenario.mixed_solo_scenarios` runs, e.g.
+    via ``run_sweep(..., store=...)``).
+    """
+    from repro.results.store import ensure_comparable, ensure_uniform, mean_metric
+
+    filters = dict(seed=seed, scale=scale, placement=placement)
+    mixed_runs = store.runs_named(MIXED_SCENARIO_NAME, **filters)
+    if not mixed_runs:
+        raise ValueError(
+            f"no stored {MIXED_SCENARIO_NAME!r} runs; populate the store with "
+            f"'dragonfly-sim sweep --scenario {MIXED_SCENARIO_NAME} --store PATH'"
+        )
+    if routings is None:
+        routings = sorted({run.routing for run in mixed_runs})
+
+    rows = []
+    for routing in routings:
+        mixes = [run for run in mixed_runs if run.routing == routing]
+        if not mixes:
+            raise ValueError(
+                f"no stored {MIXED_SCENARIO_NAME!r} run under routing {routing!r}"
+            )
+        ensure_uniform(mixes, MIXED_SCENARIO_NAME)
+        for app in mixes[0].jobs:
+            solos = [
+                run
+                for run in store.runs_named(f"{MIXED_SOLO_PREFIX}{app}", **filters)
+                if run.routing == routing
+            ]
+            if not solos:
+                raise ValueError(
+                    f"no stored {MIXED_SOLO_PREFIX + app!r} baseline under routing "
+                    f"{routing!r}; populate it with 'dragonfly-sim sweep --scenario "
+                    f"{MIXED_SOLO_PREFIX}{app} --store PATH' (one per application "
+                    "in the mix)"
+                )
+            ensure_uniform(solos, MIXED_SOLO_PREFIX + app)
+            ensure_comparable(
+                mixes + solos, f"{MIXED_SCENARIO_NAME} vs {MIXED_SOLO_PREFIX}{app}"
+            )
+            summary = InterferenceSummary(
+                app=app,
+                standalone_comm_ns=mean_metric(solos, "comm_time_ns", app),
+                interfered_comm_ns=mean_metric(mixes, "comm_time_ns", app),
+                standalone_std_ns=mean_metric(solos, "comm_time_std_ns", app),
+                interfered_std_ns=mean_metric(mixes, "comm_time_std_ns", app),
+            )
+            rows.append({"routing": routing, **summary.as_dict()})
+    return rows

@@ -5,20 +5,29 @@ application (or none) under one routing algorithm and compares the target's
 communication behaviour against its standalone baseline: communication time
 and its variation (Fig. 4), application throughput over time (Figs 5, 9) and
 packet-latency distributions (Figs 6, 7).
+
+Two paths produce the Fig. 4 comparison rows:
+
+* :func:`pairwise_study` simulates both runs and returns a
+  :class:`PairwiseResult` (full access to stats, time series, latencies);
+* :func:`comparison_rows` reads previously recorded ``pairwise/<T>`` /
+  ``pairwise/<T>+<B>`` runs back out of a
+  :class:`~repro.results.ResultStore` — same row schema, zero simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.experiments.configs import pairwise_specs
 from repro.experiments.runner import RunResult, run_workloads
 from repro.metrics.interference import InterferenceSummary, interference_summary
 from repro.metrics.latency import LatencySummary, latency_summary
+from repro.workloads import resolve_application
 
-__all__ = ["PairwiseResult", "pairwise_study"]
+__all__ = ["PairwiseResult", "comparison_rows", "pairwise_study"]
 
 
 @dataclass
@@ -105,3 +114,78 @@ def pairwise_study(
         standalone=standalone_result,
         interfered=interfered_result,
     )
+
+
+def comparison_rows(
+    store,
+    target: str,
+    background: Optional[str],
+    routings: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+) -> List[dict]:
+    """Fig. 4 comparison rows built from a result store — no simulation.
+
+    Looks up the recorded ``pairwise/<target>`` standalone baseline and (when
+    ``background`` is given) the ``pairwise/<target>+<background>`` co-run,
+    aggregates each metric across the matching seeds, and returns one row per
+    routing algorithm in the :meth:`PairwiseResult.as_dict` schema.
+    ``routings=None`` reports every routing present; the remaining filters
+    narrow the matched runs.  Raises ``ValueError`` when a required run is
+    missing (populate the store with ``dragonfly-sim sweep --scenario
+    pairwise/<T>+<B> --store PATH``).
+    """
+    from repro.results.store import ensure_comparable, ensure_uniform, mean_metric
+
+    target = resolve_application(target)
+    background = resolve_application(background) if background else None
+    base_name = f"pairwise/{target}"
+    pair_name = f"pairwise/{target}+{background}" if background else base_name
+    filters = dict(seed=seed, scale=scale, placement=placement)
+    base_runs = store.runs_named(base_name, **filters)
+    pair_runs = base_runs if background is None else store.runs_named(pair_name, **filters)
+    if routings is None:
+        routings = sorted({run.routing for run in (pair_runs if background else base_runs)})
+        if not routings:
+            raise ValueError(
+                f"no stored {pair_name!r} runs; populate the store with "
+                f"'dragonfly-sim sweep --scenario {pair_name} --store PATH'"
+                + (f" (and --scenario {base_name} for the baseline)" if background else "")
+            )
+
+    rows = []
+    for routing in routings:
+        bases = [run for run in base_runs if run.routing == routing]
+        pairs = [run for run in pair_runs if run.routing == routing]
+        if not bases:
+            raise ValueError(
+                f"no stored {base_name!r} baseline under routing {routing!r}; populate "
+                f"the store with 'dragonfly-sim sweep --scenario {base_name} --store PATH'"
+            )
+        if background and not pairs:
+            raise ValueError(
+                f"no stored {pair_name!r} co-run under routing {routing!r}; populate "
+                f"the store with 'dragonfly-sim sweep --scenario {pair_name} --store PATH'"
+            )
+        interfered_runs = pairs if background else bases
+        ensure_uniform(bases, base_name)
+        if background:
+            ensure_uniform(interfered_runs, pair_name)
+            ensure_comparable(bases + interfered_runs, f"{base_name} vs {pair_name}")
+        summary = InterferenceSummary(
+            app=target,
+            standalone_comm_ns=mean_metric(bases, "comm_time_ns", target),
+            interfered_comm_ns=mean_metric(interfered_runs, "comm_time_ns", target),
+            standalone_std_ns=mean_metric(bases, "comm_time_std_ns", target),
+            interfered_std_ns=mean_metric(interfered_runs, "comm_time_std_ns", target),
+        )
+        rows.append(
+            {
+                "routing": routing,
+                "target": target,
+                "background": background or "None",
+                **summary.as_dict(),
+            }
+        )
+    return rows

@@ -1,14 +1,82 @@
-"""Plain-text report generation for the regenerated tables and figures."""
+"""Report generation: render tables and figure rows as text, CSV or Markdown.
+
+Two kinds of entry point live here:
+
+* **renderers** — :func:`format_table` (aligned plain text),
+  :func:`format_csv`, :func:`format_markdown` and the :func:`render_rows`
+  dispatcher turn a list of dict rows into a string;
+* **store-backed report builders** — :func:`table1_rows`,
+  :func:`table2_rows` and (via :mod:`repro.analysis.pairwise` /
+  :mod:`repro.analysis.mixed`) the pairwise/mixed comparison rows read a
+  populated :class:`~repro.results.ResultStore` and rebuild the paper's
+  tables **without launching a single simulation**.  :func:`build_report`
+  dispatches on a report name and backs the ``dragonfly-sim report``
+  subcommand (see docs/results.md).
+
+The legacy helpers :func:`intensity_report` and :func:`interference_report`
+render rows produced by live runs; they share the same column schemas as the
+store-backed builders.
+"""
 
 from __future__ import annotations
 
+import csv
+import io
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.metrics.interference import InterferenceSummary
 
-__all__ = ["format_table", "intensity_report", "interference_report"]
+__all__ = [
+    "OUTPUT_FORMATS",
+    "build_report",
+    "format_csv",
+    "format_markdown",
+    "format_table",
+    "intensity_report",
+    "interference_report",
+    "render_rows",
+    "report_names",
+    "table1_rows",
+    "table2_rows",
+]
+
+#: Column schemas of the store-backed reports.
+TABLE1_COLUMNS = [
+    "pattern",
+    "app",
+    "total_msg_bytes",
+    "execution_time_ns",
+    "injection_rate_gbps",
+    "peak_ingress_bytes",
+]
+TABLE2_COLUMNS = [
+    "app",
+    "paper_nodes",
+    "paper_fraction",
+    "bench_nodes",
+    "bench_fraction",
+    "comm_time_ns",
+]
+PAIRWISE_COLUMNS = [
+    "routing",
+    "target",
+    "background",
+    "standalone_comm_ns",
+    "interfered_comm_ns",
+    "slowdown",
+    "variation",
+]
+MIXED_COLUMNS = [
+    "routing",
+    "app",
+    "standalone_comm_ns",
+    "interfered_comm_ns",
+    "slowdown",
+    "variation",
+]
 
 
+# ------------------------------------------------------------------ renderers
 def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
     """Render a list of dict rows as an aligned plain-text table."""
     if not rows:
@@ -27,6 +95,52 @@ def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) 
     return "\n".join(lines)
 
 
+def format_csv(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as CSV (header + one line per row, raw values)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([row.get(c, "") for c in columns])
+    return buffer.getvalue().rstrip("\n")
+
+
+def format_markdown(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+_FORMATS = {"table": format_table, "csv": format_csv, "markdown": format_markdown}
+
+#: Names ``render_rows``/``build_report`` accept — the CLI's --format choices.
+OUTPUT_FORMATS = tuple(sorted(_FORMATS))
+
+
+def render_rows(
+    rows: Sequence[dict], columns: Optional[Sequence[str]] = None, fmt: str = "table"
+) -> str:
+    """Render ``rows`` in one of the supported formats (table/csv/markdown)."""
+    try:
+        renderer = _FORMATS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown format {fmt!r}; choose from {sorted(_FORMATS)}") from None
+    return renderer(rows, columns)
+
+
 def _format_cell(value) -> str:
     if isinstance(value, float):
         if abs(value) >= 1000:
@@ -35,18 +149,174 @@ def _format_cell(value) -> str:
     return str(value)
 
 
+# ------------------------------------------------- store-backed report builders
+def table1_rows(
+    store,
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+) -> List[dict]:
+    """Table I rows (application communication intensity) from a result store.
+
+    Selects the stored ``table1/<App>`` standalone runs (optionally narrowed
+    by routing/seed/scale), aggregates each metric across the matching runs
+    (mean over seeds), and returns one row per application.  No simulation
+    is launched.  Raises ``ValueError`` on an unpopulated store.
+    """
+    from repro.results.store import ensure_uniform, mean_metric
+    from repro.workloads import APPLICATIONS
+
+    by_app: Dict[str, list] = {}
+    for run in store.runs(
+        name_prefix="table1/", routing=routing, seed=seed, scale=scale, placement=placement
+    ):
+        if len(run.jobs) == 1:
+            by_app.setdefault(run.jobs[0], []).append(run)
+    if not by_app:
+        raise ValueError(
+            "no table1/<App> runs in the store; populate it with e.g. "
+            "'dragonfly-sim run table1/FFT3D --store PATH' or "
+            "'dragonfly-sim sweep --scenario table1/FFT3D --store PATH'"
+        )
+    rows = []
+    for app in sorted(by_app):
+        runs = by_app[app]
+        ensure_uniform(runs, f"table1/{app}")
+        rows.append(
+            {
+                "pattern": APPLICATIONS[app].pattern,
+                "app": app,
+                "total_msg_bytes": mean_metric(runs, "total_msg_bytes", app),
+                "execution_time_ns": mean_metric(runs, "execution_time_ns", app),
+                "injection_rate_gbps": mean_metric(runs, "injection_rate_gbps", app),
+                "peak_ingress_bytes": mean_metric(runs, "peak_ingress_bytes", app),
+            }
+        )
+    return rows
+
+
+def table2_rows(
+    store,
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+) -> List[dict]:
+    """Table II rows (mixed-workload job sizes + measured comm time) from a store.
+
+    Job sizes come from the stored ``mixed/table2`` scenario description and
+    are compared against the paper's 1,056-node Table II proportions;
+    ``comm_time_ns`` is each application's mean communication time in the
+    mix, aggregated across the matching runs.
+    """
+    from repro.experiments.configs import PAPER_TABLE2_JOB_SIZES
+    from repro.results.store import ensure_uniform, mean_metric
+
+    runs = store.runs_named(
+        "mixed/table2", routing=routing, seed=seed, scale=scale, placement=placement
+    )
+    if not runs:
+        raise ValueError(
+            "no mixed/table2 runs in the store; populate it with "
+            "'dragonfly-sim sweep --scenario mixed/table2 --store PATH'"
+        )
+    ensure_uniform(runs, "mixed/table2")
+    ranks = runs[0].job_ranks()
+    total = sum(ranks.values())
+    paper_total = float(sum(PAPER_TABLE2_JOB_SIZES.values()))
+    rows = []
+    for app in ranks:
+        paper_nodes = PAPER_TABLE2_JOB_SIZES.get(app)
+        rows.append(
+            {
+                "app": app,
+                "paper_nodes": paper_nodes if paper_nodes is not None else "",
+                "paper_fraction": paper_nodes / paper_total if paper_nodes else 0.0,
+                "bench_nodes": ranks[app],
+                "bench_fraction": ranks[app] / total,
+                "comm_time_ns": mean_metric(runs, "comm_time_ns", app),
+            }
+        )
+    return rows
+
+
+def report_names() -> List[str]:
+    """Names ``build_report`` accepts (pairwise reports are parameterized)."""
+    return ["table1", "table2", "mixed", "pairwise/<Target>+<Background>"]
+
+
+def build_report(
+    store,
+    name: str,
+    fmt: str = "table",
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+) -> str:
+    """Build a named report from a result store, rendered in ``fmt``.
+
+    ``name`` is ``table1``, ``table2``, ``mixed`` (the Fig. 10 interference
+    rows) or ``pairwise/<Target>+<Background>`` (``pairwise/<Target>`` for
+    the standalone baseline row).  ``routing``/``seed``/``scale``/
+    ``placement`` narrow the stored runs considered; metrics are aggregated
+    (mean) across whatever still matches.  Backs ``dragonfly-sim report``.
+    """
+    if routing is not None:
+        # Stored runs carry canonical algorithm names; accept the same
+        # aliases the sweep that populated them accepted ("ugalg" etc.).
+        from repro.routing import resolve_algorithm
+
+        routing = resolve_algorithm(routing)
+    routings = [routing] if routing is not None else None
+    if name == "table1":
+        title = "Table I — application communication intensity"
+        rows = table1_rows(store, routing=routing, seed=seed, scale=scale, placement=placement)
+        columns = TABLE1_COLUMNS
+    elif name in ("table2", "mixed/table2"):
+        title = "Table II — mixed workload job sizes and communication time"
+        rows = table2_rows(store, routing=routing, seed=seed, scale=scale, placement=placement)
+        columns = TABLE2_COLUMNS
+    elif name == "mixed":
+        from repro.analysis.mixed import mixed_rows_from_store
+
+        title = "Mixed workload — per-application interference (Fig. 10)"
+        rows = mixed_rows_from_store(
+            store, routings=routings, seed=seed, scale=scale, placement=placement
+        )
+        columns = MIXED_COLUMNS
+    elif name.startswith("pairwise/"):
+        from repro.analysis.pairwise import comparison_rows
+
+        pair = name[len("pairwise/"):]
+        target, _, background = pair.partition("+")
+        if not target:
+            raise ValueError("pairwise report needs a target: pairwise/<Target>+<Background>")
+        title = f"Pairwise interference — {pair} (Fig. 4)"
+        rows = comparison_rows(
+            store, target, background or None,
+            routings=routings, seed=seed, scale=scale, placement=placement,
+        )
+        columns = PAIRWISE_COLUMNS
+    else:
+        raise ValueError(f"unknown report {name!r}; choose from {report_names()}")
+
+    body = render_rows(rows, columns, fmt)
+    if fmt == "csv":
+        return body
+    if fmt == "markdown":
+        return f"### {title}\n\n{body}"
+    return f"{title}\n{body}"
+
+
+# ------------------------------------------------------------- legacy reports
 def intensity_report(rows: Iterable[dict]) -> str:
     """Render the Table I rows (application communication intensity)."""
-    columns = [
-        "pattern",
-        "app",
-        "total_msg_bytes",
-        "execution_time_ns",
-        "injection_rate_gbps",
-        "peak_ingress_bytes",
-    ]
     ordered = sorted(rows, key=lambda r: r.get("app", ""))
-    return "Table I — application communication intensity\n" + format_table(ordered, columns)
+    return "Table I — application communication intensity\n" + format_table(
+        ordered, TABLE1_COLUMNS
+    )
 
 
 def interference_report(

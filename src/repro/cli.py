@@ -1,6 +1,6 @@
 """Command-line interface: ``dragonfly-sim``.
 
-Six subcommands cover the study's workflows:
+Seven subcommands cover the study's workflows:
 
 * ``table1``    — run every application standalone and print the Table I rows;
 * ``pairwise``  — co-run a target and a background application under one or
@@ -8,9 +8,14 @@ Six subcommands cover the study's workflows:
 * ``mixed``     — run the Table II mixed workload and print per-application
   interference plus the system-wide congestion metrics (Figs 10-13);
 * ``sweep``     — fan a scenario grid (standalone, pairwise or mixed) across
-  worker processes with on-disk result caching (see docs/sweep.md);
+  worker processes, cached through the persistent result store
+  (see docs/sweep.md);
 * ``run``       — execute a named scenario from the built-in library or a
-  scenario JSON file (see docs/scenarios.md);
+  scenario JSON file, optionally recording into a store
+  (see docs/scenarios.md);
+* ``report``    — rebuild Table I/II and the pairwise/mixed comparison rows
+  from a populated result store, as text, CSV or Markdown — **no
+  simulation** (see docs/results.md);
 * ``scenarios`` — list the scenario library, or describe one as JSON.
 
 ``--seed``/``--scale`` are accepted both before and after the subcommand,
@@ -22,13 +27,14 @@ from __future__ import annotations
 
 import argparse
 import os
+import sqlite3
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.mixed import mixed_study
 from repro.analysis.pairwise import pairwise_study
-from repro.analysis.reports import format_table, intensity_report
+from repro.analysis.reports import OUTPUT_FORMATS, format_table, intensity_report
 from repro.experiments.configs import ROUTINGS, bench_config, table1_specs
 from repro.experiments.scenario import (
     Scenario,
@@ -42,6 +48,7 @@ from repro.experiments.scenario import (
     table1_scenario,
 )
 from repro.metrics.intensity import intensity_table
+from repro.results import DEFAULT_STORE_PATH, ResultStore
 from repro.workloads import APPLICATIONS
 
 __all__ = ["build_parser", "main"]
@@ -150,8 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: all cores)",
     )
     sweep.add_argument(
-        "--cache-dir", default=".sweep-cache",
-        help="result cache directory ('' disables caching)",
+        "--store", default=None, metavar="PATH",
+        help=f"SQLite result store used as the sweep cache (default "
+             f"{DEFAULT_STORE_PATH}; '' disables caching; see docs/results.md)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="deprecated: legacy JSON cache directory; its entries are "
+             "imported into the store (DIR/results.sqlite unless --store "
+             "names another path)",
     )
 
     run = sub.add_parser(
@@ -165,6 +179,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--routing", default=None, help="override the routing algorithm")
     run.add_argument("--placement", default=None, help="override the placement policy")
+    run.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="record the run's metrics into this result store "
+             "(readable later with 'dragonfly-sim report')",
+    )
+
+    report = sub.add_parser(
+        "report", parents=[common],
+        help="render a report from a populated result store (no simulation)",
+    )
+    report.add_argument(
+        "name",
+        help="report name: table1, table2, mixed, or "
+             "pairwise/<Target>+<Background>",
+    )
+    report.add_argument(
+        "--store", default=str(DEFAULT_STORE_PATH), metavar="PATH",
+        help=f"result store to read (default {DEFAULT_STORE_PATH})",
+    )
+    report.add_argument(
+        "--format", dest="fmt", choices=list(OUTPUT_FORMATS), default="table",
+        help="output format (default: aligned plain-text table)",
+    )
+    report.add_argument(
+        "--routing", default=None, help="only consider runs under this routing algorithm"
+    )
+    report.add_argument(
+        "--placement", default=None,
+        help="only consider runs under this placement policy (random, contiguous)",
+    )
+    report.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
 
     scenarios = sub.add_parser(
         "scenarios", help="list the built-in scenario library (or describe one)"
@@ -306,12 +354,33 @@ def _run_sweep(args) -> int:
             what = result.scenario.name
         print(f"[{done}/{total}] {what} ({origin})", file=sys.stderr)
 
-    results = run_sweep(
-        grid,
-        workers=args.workers,
-        cache_dir=args.cache_dir or None,
-        progress=progress,
-    )
+    # --store '' (or the legacy --cache-dir '' idiom) disables caching
+    # outright; an unset --store falls back to the default store unless a
+    # (deprecated) --cache-dir names the legacy location, in which case the
+    # store lives inside that directory.  An explicit --store always wins;
+    # --cache-dir then only marks the legacy JSON entries to import.
+    store = args.store
+    cache_dir = args.cache_dir or None
+    if store == "" or (args.cache_dir == "" and store is None):
+        store, cache_dir = None, None
+    elif store is None and cache_dir is None:
+        store = str(DEFAULT_STORE_PATH)
+    try:
+        results = run_sweep(
+            grid,
+            workers=args.workers,
+            store=store,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+    except sqlite3.DatabaseError as exc:
+        broken = store if store is not None else str(Path(cache_dir) / "results.sqlite")
+        print(
+            f"error: result store {broken!r} is unreadable ({exc}); delete the "
+            "file to start a fresh cache, or pass --store '' to sweep uncached",
+            file=sys.stderr,
+        )
+        return 2
     print(format_table([r.as_row() for r in results], columns))
     return 0
 
@@ -332,22 +401,91 @@ def _run_run(args) -> int:
     dump = _dump_path(args)
     if dump:
         return _dump_and_report(dump, scenarios)
-    rows = []
-    for scenario in scenarios:
-        result = scenario.run()
-        comm = [float(job.record.mean_comm_time) for job in result.jobs.values()]
-        rows.append(
-            {
-                "scenario": scenario.name,
-                "jobs": "+".join(spec.name for spec in scenario.jobs),
-                "routing": scenario.config.routing.algorithm,
-                "placement": scenario.placement,
-                "seed": scenario.config.seed,
-                "makespan_ns": result.makespan_ns,
-                "mean_comm_time_ns": sum(comm) / len(comm),
-            }
-        )
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except sqlite3.DatabaseError as exc:
+        print(f"error: {args.store!r} is not a writable result store: {exc}", file=sys.stderr)
+        return 2
+    recorded = 0
+    try:
+        rows = []
+        for scenario in scenarios:
+            result = scenario.run()
+            if store is not None:
+                try:
+                    recorded += bool(store.record_run(scenario, result))
+                except sqlite3.DatabaseError as exc:
+                    # e.g. a foreign DB whose table layout clashes with ours:
+                    # surface it without losing the simulated results below.
+                    print(
+                        f"warning: could not record into {args.store!r}: {exc}",
+                        file=sys.stderr,
+                    )
+                    store.close()
+                    store = None
+            comm = [float(job.record.mean_comm_time) for job in result.jobs.values()]
+            rows.append(
+                {
+                    "scenario": scenario.name,
+                    "jobs": "+".join(spec.name for spec in scenario.jobs),
+                    "routing": scenario.config.routing.algorithm,
+                    "placement": scenario.placement,
+                    "seed": scenario.config.seed,
+                    "makespan_ns": result.makespan_ns,
+                    "mean_comm_time_ns": sum(comm) / len(comm),
+                }
+            )
+    finally:
+        if store is not None:
+            store.close()
+    if args.store:
+        already = len(scenarios) - recorded
+        note = f" ({already} already stored; any missing metrics were backfilled)" if already else ""
+        print(f"recorded {recorded} new run(s) into {args.store}{note}", file=sys.stderr)
     print(format_table(rows))
+    return 0
+
+
+def _run_report(args) -> int:
+    from repro.analysis.reports import build_report
+
+    path = Path(args.store)
+    if not path.is_file():
+        print(
+            f"error: result store {args.store!r} does not exist; populate one with "
+            f"'dragonfly-sim sweep --store {args.store}' or "
+            f"'dragonfly-sim run <scenario> --store {args.store}'",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with ResultStore(path) as store:
+            text = build_report(
+                store,
+                args.name,
+                fmt=args.fmt,
+                routing=args.routing,
+                seed=getattr(args, "seed", None),
+                scale=getattr(args, "scale", None),
+                placement=args.placement,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except sqlite3.DatabaseError as exc:
+        print(f"error: {args.store!r} is not a readable result store: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        target = Path(args.output)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.name} report to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -384,6 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "run":
         return _run_run(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

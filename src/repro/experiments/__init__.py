@@ -8,8 +8,9 @@ expansion;
 system/application configurations (including the Table II mixed workload);
 :mod:`repro.experiments.runner` builds a full simulator stack from an
 application list and runs it to completion;
-:mod:`repro.experiments.sweep` fans scenario grids across worker processes
-with on-disk result caching.
+:mod:`repro.experiments.sweep` fans scenario grids across worker processes,
+cached through the persistent result store (:mod:`repro.results` — see
+docs/results.md).
 """
 
 from repro.experiments.configs import (

@@ -11,7 +11,8 @@ experiment layer is defined in terms of it:
   :func:`repro.experiments.runner.run_workloads` and ``run_standalone`` are
   thin wrappers that build an ad-hoc scenario and run it;
 * :func:`repro.experiments.sweep.run_sweep` fans lists of scenarios across
-  worker processes and keys its on-disk cache by :func:`scenario_hash`;
+  worker processes, cached in the :class:`~repro.results.ResultStore` keyed
+  by :func:`scenario_hash`;
 * the ``dragonfly-sim run``/``scenarios`` CLI subcommands (and
   ``--dump-scenario`` on every study subcommand) read and write scenarios as
   JSON files.
@@ -55,6 +56,7 @@ __all__ = [
     "get_scenario",
     "load_scenarios",
     "mixed_scenario",
+    "mixed_solo_scenarios",
     "pairwise_scenario",
     "register_scenario",
     "scenario_hash",
@@ -380,6 +382,27 @@ def mixed_scenario(
     )
 
 
+def mixed_solo_scenarios(
+    routing: str = "par",
+    seed: int = 1,
+    total_nodes: int = 70,
+    scale: float = 1.0,
+    config: Optional[SimulationConfig] = None,
+) -> List[Scenario]:
+    """Standalone baselines of the mixed workload: one ``mixed/solo/<App>`` per job.
+
+    Each scenario runs one application of :func:`mixed_scenario` alone at its
+    *mixed* job size, which is what the Fig. 10 interference comparison
+    measures against.  The naming convention is what
+    :func:`repro.analysis.mixed.mixed_rows_from_store` looks up.
+    """
+    config = config if config is not None else bench_config(routing, seed=seed)
+    return [
+        Scenario(name=f"mixed/solo/{spec.name}", jobs=(spec,), config=config)
+        for spec in mixed_workload_specs(total_nodes=total_nodes, scale=scale)
+    ]
+
+
 #: Registry of named scenarios: name -> zero-argument factory.  Factories
 #: (rather than instances) keep import cheap and let presets track registry
 #: defaults; ``get_scenario`` builds a fresh Scenario per call.
@@ -416,16 +439,31 @@ def _register_builtin_library() -> None:
     # The pairwise presets the paper's figures revolve around: Fig. 5
     # (FFT3D vs Halo3D), Figs 7-8 (LQCD vs Stencil5D), Fig. 9 (CosmoFlow vs
     # Halo3D) and the classic bursty-background stressor (FFT3D vs UR).
-    for target, background in [
+    pairs = [
         ("FFT3D", "Halo3D"),
         ("LQCD", "Stencil5D"),
         ("CosmoFlow", "Halo3D"),
         ("FFT3D", "UR"),
-    ]:
+    ]
+    for target, background in pairs:
         register_scenario(
             f"pairwise/{target}+{background}", partial(pairwise_scenario, target, background)
         )
+    # Each preset target's standalone baseline (the other half of the Fig. 4
+    # comparison the result-store reports read).
+    for target in dict.fromkeys(target for target, _ in pairs):
+        register_scenario(f"pairwise/{target}", partial(pairwise_scenario, target, None))
     register_scenario("mixed/table2", mixed_scenario)
+    # The mixed workload's per-application baselines (the other half of the
+    # Fig. 10 comparison): one preset per job of the mix.
+    def _solo(app: str) -> Scenario:
+        for scenario in mixed_solo_scenarios():
+            if scenario.jobs[0].name == app:
+                return scenario
+        raise ValueError(f"no mixed-workload job named {app!r}")  # pragma: no cover
+
+    for spec in mixed_workload_specs():
+        register_scenario(f"mixed/solo/{spec.name}", partial(_solo, spec.name))
 
 
 _register_builtin_library()

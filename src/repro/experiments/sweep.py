@@ -1,9 +1,10 @@
-"""Parallel experiment sweeps with cached, seed-deterministic results.
+"""Parallel experiment sweeps cached through the persistent result store.
 
 A *sweep* fans a list of :class:`~repro.experiments.scenario.Scenario`
 descriptions across :mod:`multiprocessing` workers.  Every scenario is
-reduced to a JSON-serializable metrics dict, and results are cached on disk
-keyed by :func:`~repro.experiments.scenario.scenario_hash` (the hash of the
+reduced to the flat metrics dict of :mod:`repro.results.schema`, and results
+are cached in a :class:`~repro.results.ResultStore` keyed by
+:func:`~repro.experiments.scenario.scenario_hash` (the hash of the
 canonically-serialized scenario), so re-running a sweep only simulates the
 scenarios whose description changed.  Because the unit of work is a full
 scenario, pairwise co-runs and the mixed workload sweep exactly like
@@ -19,23 +20,24 @@ Design notes:
 * the cache key covers the entire canonical scenario serialization plus
   :data:`CACHE_VERSION`, bumped whenever the simulator's numeric behaviour
   (or the serialization itself) changes;
-* cache files are written atomically (tmp file + rename) so a crashed or
-  parallel sweep never leaves a truncated JSON behind.
+* all store reads/writes happen in the parent process (workers only
+  simulate), so one sweep needs no cross-process write coordination;
+* the legacy per-file JSON cache (``<hash>.json`` in ``cache_dir``) is
+  still accepted: its entries are imported into a store file inside that
+  directory once, then the store serves every subsequent lookup.
 
 :class:`SweepPoint` — the original single-workload grid cell — is kept as a
 **deprecated shim** that converts to a single-job scenario via
 ``to_scenario()``; ``run_sweep`` accepts mixed lists of points and scenarios.
 
 Used by the ``dragonfly-sim sweep`` CLI subcommand and
-``examples/sweep_grid.py``; see docs/sweep.md.
+``examples/sweep_grid.py``; see docs/sweep.md and docs/results.md.
 """
 
 from __future__ import annotations
 
 import itertools
-import json
 import os
-import tempfile
 from dataclasses import asdict, dataclass
 from multiprocessing import Pool
 from pathlib import Path
@@ -43,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.config import SimulationConfig, paper_system, small_system, tiny_system
 from repro.experiments.scenario import CACHE_VERSION, Scenario, expand_grid, scenario_hash
+from repro.results import ResultStore, flatten_run
 
 __all__ = [
     "CACHE_VERSION",
@@ -211,70 +214,48 @@ def build_grid(
 
 # ---------------------------------------------------------------- execution
 def _run_scenario(scenario: Scenario) -> SweepResult:
-    """Simulate one scenario and reduce it to JSON-serializable metrics."""
+    """Simulate one scenario and reduce it to the flat store metrics."""
     result = scenario.run()
-    stats = result.stats
-    metrics = {
-        "makespan_ns": float(result.makespan_ns),
-        "events_fired": int(result.sim.events_fired),
-        "packets_injected": int(stats.total_packets_injected),
-        "packets_ejected": int(stats.total_packets_ejected),
-        "bytes_ejected": int(stats.total_bytes_ejected),
-        "total_port_stall_ns": float(stats.port_stall.total()),
-    }
-    comm_times = []
-    for name, job in result.jobs.items():
-        comm = float(job.record.mean_comm_time)
-        metrics[f"comm_time_ns/{name}"] = comm
-        comm_times.append(comm)
-    # Aggregate column every row shares (equals the job's own value for
-    # single-job scenarios, matching the pre-scenario sweep layout).
-    metrics["mean_comm_time_ns"] = float(sum(comm_times) / len(comm_times))
-    return SweepResult(metrics=metrics, wall_seconds=result.wall_seconds, scenario=scenario)
-
-
-def _load_cached(path: Path, scenario: Scenario) -> Optional[SweepResult]:
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    if payload.get("version") != CACHE_VERSION:
-        return None
-    if payload.get("scenario") != scenario.to_dict():
-        # Hash collision or stale layout: re-run rather than trust it.
-        return None
     return SweepResult(
-        metrics=payload["metrics"],
-        wall_seconds=float(payload.get("wall_seconds", 0.0)),
-        cached=True,
-        scenario=scenario,
+        metrics=flatten_run(result), wall_seconds=result.wall_seconds, scenario=scenario
     )
 
 
-def _store_cached(path: Path, result: SweepResult) -> None:
-    payload = {
-        "version": CACHE_VERSION,
-        "scenario": result.scenario.to_dict(),
-        "metrics": result.metrics,
-        "wall_seconds": result.wall_seconds,
-    }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, sort_keys=True, indent=1)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _open_store(
+    store: Optional[Union[ResultStore, str, Path]], cache_dir: Optional[str]
+):
+    """Resolve the ``(store, owned)`` pair behind run_sweep's caching arguments.
+
+    A path (or a legacy ``cache_dir``) opens a store owned by this call.
+    Legacy ``<hash>.json`` entries are imported once (so pre-store caches
+    keep their hits) from an explicit ``cache_dir``, or implicitly from the
+    store file's own directory when that is the conventional legacy cache
+    location (``.sweep-cache``, where the default store lives) — arbitrary
+    store locations never trigger a directory scan.
+    """
+    if store is None and cache_dir is None:
+        return None, False
+    if isinstance(store, ResultStore):
+        if cache_dir is not None:
+            store.import_json_cache(cache_dir)
+        return store, False
+    if store is not None:
+        path = Path(store)
+    else:
+        path = Path(cache_dir) / "results.sqlite"
+    opened = ResultStore(path)
+    if cache_dir is not None:
+        opened.import_json_cache(cache_dir)
+    elif path.parent.name == ".sweep-cache":
+        opened.import_json_cache(path.parent)
+    return opened, True
 
 
 def run_sweep(
     points: Iterable[Union[SweepPoint, Scenario]],
     workers: int = 1,
+    *,
+    store: Optional[Union[ResultStore, str, Path]] = None,
     cache_dir: Optional[str] = None,
     progress=None,
 ) -> List[SweepResult]:
@@ -289,8 +270,14 @@ def run_sweep(
     workers:
         Worker processes for the uncached cells.  ``1`` runs everything in
         this process (bit-identical to the parallel path — see module notes).
+    store:
+        Result cache: an open :class:`~repro.results.ResultStore` or a path
+        to one (created on demand).  ``None`` (with no ``cache_dir``)
+        disables caching.
     cache_dir:
-        Directory of ``<hash>.json`` result files.  ``None`` disables caching.
+        .. deprecated:: use ``store``.  Directory of the legacy JSON cache;
+            a store is opened at ``<cache_dir>/results.sqlite`` and any
+            legacy ``<hash>.json`` entries are imported into it first.
     progress:
         Optional callable invoked as ``progress(done, total, result)`` after
         every completed cell.
@@ -311,43 +298,52 @@ def run_sweep(
             )
 
     results: List[Optional[SweepResult]] = [None] * len(scenarios)
-    cache = Path(cache_dir) if cache_dir is not None else None
+    cache, owns_store = _open_store(store, cache_dir)
+    try:
+        def finish(index: int, result: SweepResult, record: bool) -> None:
+            result.point = origins[index]
+            results[index] = result
+            if record and cache is not None:
+                cache.record(result.scenario, result.metrics, result.wall_seconds)
 
-    def finish(index: int, result: SweepResult, store: bool) -> None:
-        result.point = origins[index]
-        results[index] = result
-        if store and cache is not None:
-            _store_cached(cache / f"{scenario_hash(result.scenario)}.json", result)
+        pending: List[int] = []
+        done = 0
+        for index, scenario in enumerate(scenarios):
+            if cache is not None:
+                stored = cache.get(scenario)
+                if stored is not None:
+                    hit = SweepResult(
+                        metrics=dict(stored.metrics),
+                        wall_seconds=stored.wall_seconds,
+                        cached=True,
+                        scenario=scenario,
+                    )
+                    finish(index, hit, record=False)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(scenarios), hit)
+                    continue
+            pending.append(index)
 
-    pending: List[int] = []
-    done = 0
-    for index, scenario in enumerate(scenarios):
-        if cache is not None:
-            cached = _load_cached(cache / f"{scenario_hash(scenario)}.json", scenario)
-            if cached is not None:
-                finish(index, cached, store=False)
-                done += 1
-                if progress is not None:
-                    progress(done, len(scenarios), cached)
-                continue
-        pending.append(index)
-
-    if pending:
-        workers = max(1, min(workers, len(pending), os.cpu_count() or 1))
-        if workers == 1:
-            fresh = map(_run_scenario, (scenarios[i] for i in pending))
-        else:
-            pool = Pool(processes=workers)
-            fresh = pool.imap(_run_scenario, [scenarios[i] for i in pending])
-        try:
-            for index, result in zip(pending, fresh):
-                finish(index, result, store=True)
-                done += 1
-                if progress is not None:
-                    progress(done, len(scenarios), result)
-        finally:
-            if workers > 1:
-                pool.close()
-                pool.join()
+        if pending:
+            workers = max(1, min(workers, len(pending), os.cpu_count() or 1))
+            if workers == 1:
+                fresh = map(_run_scenario, (scenarios[i] for i in pending))
+            else:
+                pool = Pool(processes=workers)
+                fresh = pool.imap(_run_scenario, [scenarios[i] for i in pending])
+            try:
+                for index, result in zip(pending, fresh):
+                    finish(index, result, record=True)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(scenarios), result)
+            finally:
+                if workers > 1:
+                    pool.close()
+                    pool.join()
+    finally:
+        if owns_store and cache is not None:
+            cache.close()
 
     return [result for result in results if result is not None]

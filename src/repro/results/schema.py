@@ -1,0 +1,112 @@
+"""Row schema of the result store: flat ``metric[/app]`` keys.
+
+Every simulation run is reduced to one flat ``{key: number}`` dict before it
+is stored, cached, or compared.  Keys come in two shapes:
+
+* ``"makespan_ns"`` — a scenario-level metric (one value per run);
+* ``"comm_time_ns/FFT3D"`` — a per-application metric, the application name
+  joined with :data:`METRIC_SEP`.
+
+:func:`flatten_run` is the single producer of this schema (used by the sweep
+workers, the benchmark harness and ``dragonfly-sim run --store``);
+:func:`split_metric`/:func:`join_metric` convert between the flat key form
+and the ``(metric, app)`` pair the store's ``metrics`` table uses.  Keeping
+one producer means the sweep cache, the result store and every report
+builder agree on metric names by construction.
+
+Scenario-level keys (always present):
+
+========================  =====================================================
+``makespan_ns``           simulated time at which the run finished
+``events_fired``          simulator events processed
+``packets_injected``      packets handed to the network
+``packets_ejected``       packets delivered
+``bytes_ejected``         payload bytes delivered
+``total_port_stall_ns``   summed credit-stall time over all ports
+``mean_comm_time_ns``     mean of the per-job communication-time means
+========================  =====================================================
+
+Per-application keys (one per job ``<app>``):
+
+==============================  ===============================================
+``comm_time_ns/<app>``          mean per-rank blocked communication time
+``comm_time_std_ns/<app>``      std of per-rank communication time
+``execution_time_ns/<app>``     application makespan (last finish - first start)
+``total_msg_bytes/<app>``       payload bytes the application sent
+``injection_rate_gbps/<app>``   measured message injection rate (Table I)
+``peak_ingress_bytes/<app>``    analytic peak ingress volume (Table I)
+==============================  ===============================================
+
+``packet_latency_mean_ns``/``packet_latency_p99_ns`` are added when the run
+recorded per-packet latencies (``record_packets`` and at least one packet).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = ["METRIC_SEP", "flatten_run", "join_metric", "split_metric"]
+
+#: Separator between a metric name and an application name in flat keys.
+#: Application names come from the workload registry and never contain it.
+METRIC_SEP = "/"
+
+Number = Union[int, float]
+
+
+def join_metric(metric: str, app: Optional[str] = None) -> str:
+    """Flat key for ``metric`` (optionally scoped to application ``app``)."""
+    if not app:
+        return metric
+    return f"{metric}{METRIC_SEP}{app}"
+
+
+def split_metric(key: str) -> Tuple[str, Optional[str]]:
+    """Inverse of :func:`join_metric`: ``(metric, app-or-None)``."""
+    metric, sep, app = key.partition(METRIC_SEP)
+    return (metric, app) if sep else (key, None)
+
+
+def flatten_run(result) -> Dict[str, Number]:
+    """Reduce a :class:`~repro.experiments.runner.RunResult` to flat metrics.
+
+    The returned dict is JSON-serializable, contains only
+    simulation-determined values (two runs of the same scenario produce
+    identical dicts regardless of worker count or wall-clock), and follows
+    the key schema documented in this module.
+    """
+    from repro.metrics.intensity import injection_rate_gbps
+    from repro.metrics.latency import latency_summary
+
+    stats = result.stats
+    metrics: Dict[str, Number] = {
+        "makespan_ns": float(result.makespan_ns),
+        "events_fired": int(result.sim.events_fired),
+        "packets_injected": int(stats.total_packets_injected),
+        "packets_ejected": int(stats.total_packets_ejected),
+        "bytes_ejected": int(stats.total_bytes_ejected),
+        "total_port_stall_ns": float(stats.port_stall.total()),
+    }
+
+    comm_times = []
+    for name, job in result.jobs.items():
+        record = job.record
+        application = result.applications[name]
+        comm = float(record.mean_comm_time)
+        comm_times.append(comm)
+        metrics[join_metric("comm_time_ns", name)] = comm
+        metrics[join_metric("comm_time_std_ns", name)] = float(record.std_comm_time)
+        metrics[join_metric("execution_time_ns", name)] = float(record.execution_time)
+        metrics[join_metric("total_msg_bytes", name)] = int(record.total_bytes_sent)
+        metrics[join_metric("injection_rate_gbps", name)] = injection_rate_gbps(record)
+        metrics[join_metric("peak_ingress_bytes", name)] = int(application.peak_ingress_bytes())
+    # Aggregate column every row shares (equals the job's own value for
+    # single-job scenarios, matching the pre-scenario sweep layout).
+    metrics["mean_comm_time_ns"] = float(sum(comm_times) / len(comm_times))
+
+    if result.config.record_packets:
+        latency = latency_summary(stats)
+        if latency.count:
+            metrics["packet_latency_mean_ns"] = latency.mean
+            metrics["packet_latency_p99_ns"] = latency.p99
+    return metrics

@@ -1,0 +1,571 @@
+"""Append-only SQLite result store keyed by scenario hash.
+
+:class:`ResultStore` is the persistence layer every experiment result flows
+through: the parallel sweep uses it as its cache, the benchmark drivers
+record their runs into it, and the report builders
+(:mod:`repro.analysis.reports`, ``dragonfly-sim report``) read tables and
+figure rows back out of it without re-running a single simulation.
+
+Design:
+
+* **One run = one row** in ``runs``, keyed by
+  :func:`~repro.experiments.scenario.scenario_hash` and carrying the
+  canonical scenario JSON plus the queryable axes (name, jobs, routing,
+  placement, seed).  The stored scenario is compared against the requested
+  one on every read, so a hash collision or stale layout degrades to a cache
+  miss, never to wrong numbers.
+* **Flat metric rows** in ``metrics`` — ``(scenario_hash, app, metric,
+  value)`` with ``app = ''`` for scenario-level metrics — produced by
+  :func:`repro.results.schema.flatten_run`.  The ``value`` column is
+  declared without type affinity so integers round-trip as integers and
+  floats as IEEE doubles (bit-exact).
+* **Append-only**: :meth:`ResultStore.record` inserts with
+  ``INSERT OR IGNORE`` — recorded values are never overwritten; re-recording
+  a known scenario only backfills metric rows it did not have yet (how
+  legacy imports acquire the per-application metrics).  Simulator changes
+  that alter numbers must bump
+  :data:`~repro.experiments.scenario.CACHE_VERSION`, which changes every
+  hash and orphans (rather than corrupts) old rows.
+* A **one-shot importer** (:meth:`ResultStore.import_json_cache`) migrates
+  the pre-store sweep cache (a directory of ``<hash>.json`` files,
+  ``CACHE_VERSION`` 2) into the store; importing is idempotent.
+
+See ``docs/results.md`` for the on-disk schema and CLI workflows.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.experiments.scenario import CACHE_VERSION, Scenario, scenario_hash
+from repro.results.schema import join_metric, split_metric
+
+__all__ = [
+    "ResultStore",
+    "StoredResult",
+    "DEFAULT_STORE_PATH",
+    "ensure_comparable",
+    "ensure_uniform",
+    "mean_metric",
+]
+
+
+def _comparable_key(run: "StoredResult"):
+    """Config axes two *different* experiment families must share to be
+    compared against each other: message-volume scale(s), placement, system
+    shape and simulation knobs (job sets legitimately differ, seeds are the
+    aggregation axis)."""
+    sim = {k: v for k, v in run.scenario.get("sim", {}).items() if k != "seed"}
+    return (
+        frozenset(run.job_scales()),
+        run.placement,
+        json.dumps(run.scenario.get("system"), sort_keys=True),
+        json.dumps(sim, sort_keys=True),
+    )
+
+
+def ensure_comparable(runs: Sequence["StoredResult"], what: str) -> None:
+    """Reject cross-family run sets whose shared config axes disagree.
+
+    Companion to :func:`ensure_uniform` for comparisons *between* families
+    (a standalone baseline vs. its co-run): their job sets differ by
+    design, but scale, placement, system and simulation knobs must match or
+    the derived slowdown compares two different experiments.
+    """
+    if len({_comparable_key(run) for run in runs}) > 1:
+        raise ValueError(
+            f"the stored {what} runs disagree on scale/placement/system "
+            "configuration, so their comparison would mix experiments; "
+            "narrow the selection (e.g. --scale/--placement/--seed) so one "
+            "configuration remains"
+        )
+
+
+def ensure_uniform(runs: Sequence["StoredResult"], what: str) -> None:
+    """Reject run sets that span more than one experiment configuration.
+
+    Cross-run aggregation (the reports' mean over seeds) is only meaningful
+    when every run shares one configuration — job sizes and scales, routing,
+    placement, the system shape and the simulation knobs (everything except
+    the seed); blending e.g. benchmark-scale and full-scale runs, two
+    routing algorithms, or two system sizes would produce numbers that
+    describe no single experiment.  Raises ``ValueError`` naming the
+    filters that disambiguate.
+    """
+    shapes = set()
+    for run in runs:
+        sim = {k: v for k, v in run.scenario.get("sim", {}).items() if k != "seed"}
+        shapes.add(
+            (
+                tuple(sorted(run.job_ranks().items())),
+                run.job_scales(),
+                run.routing,
+                run.placement,
+                json.dumps(run.scenario.get("system"), sort_keys=True),
+                json.dumps(sim, sort_keys=True),
+            )
+        )
+    if len(shapes) > 1:
+        raise ValueError(
+            f"the {len(runs)} stored {what} runs span {len(shapes)} different "
+            "job-size/scale/routing/placement/system configurations; narrow "
+            "the selection (e.g. --routing/--placement/--scale/--seed) so "
+            "one configuration remains"
+        )
+
+
+def mean_metric(runs: Sequence["StoredResult"], metric: str, app: Optional[str] = None) -> float:
+    """Mean of one metric over the ``runs`` that carry it (cross-seed aggregation).
+
+    Runs lacking the metric — legacy JSON-cache imports, which carry only
+    coarse metrics — are skipped as long as at least one run has it, so a
+    backfill run recorded next to a coarse legacy row wins instead of the
+    pair dead-locking the report.  Raises ``ValueError`` when ``runs`` is
+    empty or *no* run has the metric, naming the command that backfills it.
+    """
+    if not runs:
+        raise ValueError(f"no stored runs to aggregate metric {join_metric(metric, app)!r} over")
+    values = [
+        float(value)
+        for value in (run.metric(metric, app) for run in runs)
+        if value is not None
+    ]
+    if not values:
+        # Grid-expanded names ("base[par,seed=2]") are not runnable by name;
+        # point the user at the base scenario + explicit axes, which records
+        # under the base name — runs_named and this aggregation pick it up.
+        run = runs[0]
+        base = run.name.partition("[")[0]
+        scales = set(run.job_scales())
+        scale_hint = f" --scale {scales.pop()}" if len(scales) == 1 else ""
+        raise ValueError(
+            f"none of the {len(runs)} stored {run.name!r} run(s) has metric "
+            f"{join_metric(metric, app)!r}; legacy cache imports carry only "
+            f"coarse metrics — backfill by re-simulating, e.g. "
+            f"'dragonfly-sim run {base} --routing {run.routing} "
+            f"--seed {run.seed}{scale_hint} --placement {run.placement} "
+            "--store PATH'"
+        )
+    return float(np.mean(values))
+
+#: Default store location used by the CLI.  It lives inside the legacy sweep
+#: cache directory so existing ``.sweep-cache/*.json`` entries sit next to
+#: (and are auto-imported into) the store that replaces them.
+DEFAULT_STORE_PATH = ".sweep-cache/results.sqlite"
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    scenario_hash TEXT PRIMARY KEY,
+    name          TEXT NOT NULL,
+    jobs          TEXT NOT NULL,
+    routing       TEXT NOT NULL,
+    placement     TEXT NOT NULL,
+    seed          INTEGER NOT NULL,
+    cache_version INTEGER NOT NULL,
+    scenario_json TEXT NOT NULL,
+    wall_seconds  REAL NOT NULL,
+    created_at    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_name ON runs(name);
+CREATE INDEX IF NOT EXISTS idx_runs_axes ON runs(routing, placement, seed);
+CREATE TABLE IF NOT EXISTS metrics (
+    scenario_hash TEXT NOT NULL,
+    app           TEXT NOT NULL DEFAULT '',
+    metric        TEXT NOT NULL,
+    value         NOT NULL,  -- no affinity: ints stay INTEGER, floats stay REAL
+    PRIMARY KEY (scenario_hash, app, metric)
+) WITHOUT ROWID;
+"""
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One run read back from the store: identity axes + flat metrics."""
+
+    scenario_hash: str
+    name: str
+    jobs: Tuple[str, ...]
+    routing: str
+    placement: str
+    seed: int
+    scenario: dict
+    metrics: Dict[str, float]
+    wall_seconds: float
+    created_at: str
+
+    def metric(self, metric: str, app: Optional[str] = None):
+        """Value of ``metric`` (optionally per-application), or ``None``."""
+        return self.metrics.get(join_metric(metric, app))
+
+    def job_scales(self) -> Tuple[float, ...]:
+        """Per-job message-volume ``scale`` kwargs (1.0 when unset)."""
+        return tuple(
+            float(job.get("kwargs", {}).get("scale", 1.0)) for job in self.scenario["jobs"]
+        )
+
+    def job_ranks(self) -> Dict[str, int]:
+        """Job name -> rank count, from the stored scenario description."""
+        return {job["name"]: int(job["num_ranks"]) for job in self.scenario["jobs"]}
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only store of experiment results in a single SQLite file.
+
+    ``path`` may be a filesystem path (parent directories are created) or
+    ``":memory:"`` for an ephemeral store.  The store is safe for one writer
+    plus any number of readers; all sweep writes happen in the parent
+    process, so no cross-process write coordination is needed.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        # Concurrent sweeps may share one store file: WAL lets readers and
+        # the writer overlap, and a generous busy timeout rides out another
+        # process's write transaction instead of raising "database is locked".
+        self._conn.execute("PRAGMA busy_timeout = 30000")
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema_version', ?)",
+            (str(_SCHEMA_VERSION),),
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+        return int(count)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return self.get(scenario) is not None
+
+    # --------------------------------------------------------------- writing
+    def record(self, scenario: Scenario, metrics: Dict[str, float], wall_seconds: float = 0.0) -> bool:
+        """Append one result; returns whether the *run* was newly recorded.
+
+        The store is append-only at the metric level: existing values are
+        never overwritten, but re-recording a known scenario fills in any
+        metric rows it did not have yet.  That is what rescues runs imported
+        from the legacy JSON cache (which carries only the coarse metrics) —
+        simulating the scenario once with the current code backfills the
+        per-application metrics the reports need.  The one exception to
+        append-only: a row whose stored scenario JSON no longer matches this
+        scenario's canonical form (a stale serialization under the same
+        hash) is replaced wholesale, so a re-simulated cell heals the store
+        instead of being discarded forever.  Metric keys follow
+        :mod:`repro.results.schema`.
+        """
+        key = scenario_hash(scenario)
+        canonical = _canonical(scenario.to_dict())
+        created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        run_row = (
+            key,
+            scenario.name,
+            "+".join(spec.name for spec in scenario.jobs),
+            scenario.config.routing.algorithm,
+            scenario.placement,
+            scenario.config.seed,
+            CACHE_VERSION,
+            canonical,
+            float(wall_seconds),
+            created,
+        )
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO runs VALUES (?,?,?,?,?,?,?,?,?,?)", run_row
+            )
+            inserted = cursor.rowcount > 0
+            if not inserted:
+                stored = self._conn.execute(
+                    "SELECT scenario_json FROM runs WHERE scenario_hash = ?", (key,)
+                ).fetchone()
+                if stored is None or stored[0] != canonical:
+                    # The row under this hash describes a different scenario
+                    # serialization — in practice a stale layout, not a real
+                    # sha256 collision.  Self-heal as the legacy JSON cache
+                    # did: the freshly simulated result is authoritative, so
+                    # replace the stale row wholesale (otherwise get() keeps
+                    # missing and every sweep re-simulates this cell forever).
+                    self._conn.execute("DELETE FROM metrics WHERE scenario_hash = ?", (key,))
+                    self._conn.execute("DELETE FROM runs WHERE scenario_hash = ?", (key,))
+                    self._conn.execute(
+                        "INSERT INTO runs VALUES (?,?,?,?,?,?,?,?,?,?)", run_row
+                    )
+                    inserted = True
+            rows = []
+            for metric_key, value in metrics.items():
+                metric, app = split_metric(metric_key)
+                rows.append((key, app or "", metric, value))
+            self._conn.executemany("INSERT OR IGNORE INTO metrics VALUES (?,?,?,?)", rows)
+        return inserted
+
+    def record_run(self, scenario: Scenario, result) -> bool:
+        """Flatten a :class:`~repro.experiments.runner.RunResult` and record it."""
+        from repro.results.schema import flatten_run
+
+        return self.record(scenario, flatten_run(result), result.wall_seconds)
+
+    def import_json_cache(self, cache_dir: Union[str, Path]) -> int:
+        """One-shot import of a legacy JSON sweep cache (``<hash>.json`` files).
+
+        Only files holding the pre-store payload format at the current
+        :data:`~repro.experiments.scenario.CACHE_VERSION` are imported;
+        anything else is skipped.  Genuinely one-shot: a marker in the
+        ``meta`` table records that a directory was imported, so later calls
+        (every ``run_sweep`` against this store) skip the scan entirely
+        instead of re-parsing every JSON file.  Returns the number of newly
+        imported results.
+        """
+        directory = Path(cache_dir)
+        if not directory.is_dir():
+            return 0
+        marker = f"imported:{directory.resolve()}"
+        seen = self._conn.execute("SELECT 1 FROM meta WHERE key = ?", (marker,)).fetchone()
+        if seen is not None:
+            return 0
+        imported = 0
+        transient_failure = False
+        for path in sorted(directory.glob("*.json")):
+            # One corrupt or hand-edited entry must not abort the import (or
+            # the sweep that triggered it) — skip anything that fails to
+            # parse, validate, or record.
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("version") != CACHE_VERSION:
+                    continue
+                scenario = Scenario.from_dict(payload["scenario"])
+                metrics = dict(payload["metrics"])
+                if self.record(scenario, metrics, float(payload.get("wall_seconds", 0.0))):
+                    imported += 1
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # malformed entry: permanently skippable
+            except sqlite3.Error:
+                # Transient database contention: leave the marker unwritten
+                # so the next open retries these entries.
+                transient_failure = True
+                continue
+        if not transient_failure:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta(key, value) VALUES (?, ?)",
+                    (marker, datetime.now(timezone.utc).isoformat(timespec="seconds")),
+                )
+        return imported
+
+    # --------------------------------------------------------------- reading
+    def get(self, scenario: Scenario) -> Optional[StoredResult]:
+        """Stored result of ``scenario``, or None.
+
+        The stored canonical scenario JSON must match the requested one
+        exactly — a hash collision or stale serialization reads as a miss.
+        """
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE scenario_hash = ?", (scenario_hash(scenario),)
+        ).fetchone()
+        if row is None:
+            return None
+        stored = self._load(row)
+        if _canonical(stored.scenario) != _canonical(scenario.to_dict()):
+            return None
+        return stored
+
+    def runs(
+        self,
+        name: Optional[str] = None,
+        name_prefix: Optional[str] = None,
+        routing: Optional[str] = None,
+        placement: Optional[str] = None,
+        seed: Optional[int] = None,
+        application: Optional[str] = None,
+        scale: Optional[float] = None,
+    ) -> List[StoredResult]:
+        """Stored runs matching every given filter (None = wildcard).
+
+        ``application`` selects runs that include the named job;
+        ``scale`` selects runs whose every job has that message-volume scale.
+        """
+        query = "SELECT * FROM runs"
+        # Rows written before a CACHE_VERSION bump are orphaned, not served:
+        # selecting by name would otherwise blend old-simulator numbers into
+        # the reports' cross-seed means.
+        clauses, params = ["cache_version = ?"], [CACHE_VERSION]
+        if name is not None:
+            clauses.append("name = ?")
+            params.append(name)
+        if name_prefix is not None:
+            clauses.append("name LIKE ? ESCAPE '\\'")
+            escaped = name_prefix.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+            params.append(escaped + "%")
+        if routing is not None:
+            clauses.append("routing = ?")
+            params.append(routing)
+        if placement is not None:
+            clauses.append("placement = ?")
+            params.append(placement)
+        if seed is not None:
+            clauses.append("seed = ?")
+            params.append(int(seed))
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY name, routing, placement, seed"
+        rows = self._conn.execute(query, params).fetchall()
+        metrics = self._metrics_for([row[0] for row in rows])
+        results = [self._load(row, metrics.get(row[0], {})) for row in rows]
+        if application is not None:
+            results = [r for r in results if application in r.jobs]
+        if scale is not None:
+            results = [r for r in results if all(s == scale for s in r.job_scales())]
+        return results
+
+    def runs_named(self, base: str, **filters) -> List[StoredResult]:
+        """Runs named exactly ``base`` or a grid expansion ``base[...]``.
+
+        :func:`~repro.experiments.scenario.expand_grid` renames expanded
+        scenarios ``base[par,seed=2]``, so both forms describe the same
+        experiment family.  ``filters`` are the keyword arguments of
+        :meth:`runs`.
+        """
+        return [
+            run
+            for run in self.runs(name_prefix=base, **filters)
+            if run.name == base or run.name.startswith(base + "[")
+        ]
+
+    def rows(self, metric: Optional[str] = None, **filters) -> List[dict]:
+        """Flat result rows: one dict per (run, application, metric).
+
+        Each row carries the run's identity axes plus ``app`` (None for
+        scenario-level metrics), ``metric`` and ``value``.  ``filters`` are
+        the keyword arguments of :meth:`runs`.
+        """
+        out = []
+        for run in self.runs(**filters):
+            scales = set(run.job_scales())
+            scale = scales.pop() if len(scales) == 1 else None
+            for key, value in sorted(run.metrics.items()):
+                key_metric, app = split_metric(key)
+                if metric is not None and key_metric != metric:
+                    continue
+                out.append(
+                    {
+                        "scenario_hash": run.scenario_hash,
+                        "scenario": run.name,
+                        # Scenario family: the name minus any expand_grid
+                        # suffix, so seeds of one experiment share it while
+                        # different experiments (table1/X vs pairwise/X,
+                        # which share a jobs string) do not.
+                        "family": run.name.partition("[")[0],
+                        "jobs": "+".join(run.jobs),
+                        "routing": run.routing,
+                        "placement": run.placement,
+                        "seed": run.seed,
+                        "scale": scale,
+                        "app": app,
+                        "metric": key_metric,
+                        "value": value,
+                    }
+                )
+        return out
+
+    def aggregate(
+        self,
+        metric: str,
+        group_by: Sequence[str] = ("family", "jobs", "routing", "placement", "scale", "app"),
+        **filters,
+    ) -> List[dict]:
+        """Aggregate one metric across seeds (or any axis left out of ``group_by``).
+
+        Returns one row per distinct ``group_by`` tuple with ``count``,
+        ``mean``, ``std``, ``min``, ``max`` and ``p99`` over the matched
+        values — the cross-seed statistics the paper's tables report.  The
+        scenario ``family`` (name minus grid suffix) and the message-volume
+        ``scale`` are grouping axes by default, so different experiments
+        that happen to share a jobs string (``table1/FFT3D`` at 24 ranks vs
+        ``pairwise/FFT3D`` at 32) — or runs at different volumes — are
+        never silently blended into one statistic.
+        """
+        groups: Dict[tuple, List[float]] = {}
+        for row in self.rows(metric=metric, **filters):
+            key = tuple(row[field] for field in group_by)
+            groups.setdefault(key, []).append(float(row["value"]))
+        out = []
+        for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+            values = np.asarray(groups[key], dtype=float)
+            row = dict(zip(group_by, key))
+            row.update(
+                {
+                    "metric": metric,
+                    "count": int(values.size),
+                    "mean": float(values.mean()),
+                    "std": float(values.std()),
+                    "min": float(values.min()),
+                    "max": float(values.max()),
+                    "p99": float(np.percentile(values, 99)),
+                }
+            )
+            out.append(row)
+        return out
+
+    # --------------------------------------------------------------- helpers
+    def _metrics_for(self, hashes: Sequence[str]) -> Dict[str, Dict[str, float]]:
+        """Metrics of many runs in one query: hash -> flat metrics dict."""
+        out: Dict[str, Dict[str, float]] = {}
+        # SQLite caps bound parameters (999 historically); chunk well below it.
+        for start in range(0, len(hashes), 500):
+            chunk = list(hashes[start:start + 500])
+            placeholders = ",".join("?" for _ in chunk)
+            for hash_, app, metric, value in self._conn.execute(
+                f"SELECT scenario_hash, app, metric, value FROM metrics "
+                f"WHERE scenario_hash IN ({placeholders})",
+                chunk,
+            ):
+                out.setdefault(hash_, {})[join_metric(metric, app or None)] = value
+        return out
+
+    def _load(self, row: tuple, metrics: Optional[Dict[str, float]] = None) -> StoredResult:
+        (hash_, name, jobs, routing, placement, seed, _version, scenario_json, wall, created) = row
+        if metrics is None:
+            metrics = self._metrics_for([hash_]).get(hash_, {})
+        return StoredResult(
+            scenario_hash=hash_,
+            name=name,
+            jobs=tuple(jobs.split("+")),
+            routing=routing,
+            placement=placement,
+            seed=int(seed),
+            scenario=json.loads(scenario_json),
+            metrics=metrics,
+            wall_seconds=float(wall),
+            created_at=created,
+        )

@@ -1,0 +1,24 @@
+"""Docs sanity: the README exists and every relative Markdown link resolves.
+
+Uses the same checker as the CI docs job (``tools/check_links.py``), so a
+doc rename that breaks a link fails tier-1 locally before it fails CI.
+"""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location("check_links", ROOT / "tools" / "check_links.py")
+check_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_links)
+
+
+def test_readme_and_docs_exist():
+    assert (ROOT / "README.md").is_file()
+    for name in ("architecture.md", "scenarios.md", "sweep.md", "results.md"):
+        assert (ROOT / "docs" / name).is_file(), name
+
+
+def test_all_relative_markdown_links_resolve():
+    assert check_links.broken_links(ROOT) == []

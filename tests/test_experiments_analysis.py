@@ -195,6 +195,8 @@ def test_cli_parser_subcommands():
     )
     assert args.command == "sweep"
     assert args.seeds == [1, 2] and args.workers == 3
-    assert args.cache_dir == ".sweep-cache"
+    assert args.store is None and args.cache_dir is None  # default store applied at run time
+    args = parser.parse_args(["report", "table1", "--format", "csv"])
+    assert args.command == "report" and args.name == "table1" and args.fmt == "csv"
     with pytest.raises(SystemExit):
         parser.parse_args(["pairwise", "FFT3D", "NotAnApp"])

@@ -1,0 +1,369 @@
+"""Tests of the persistent result store and the store-backed reports."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.analysis.mixed import mixed_rows_from_store
+from repro.analysis.pairwise import comparison_rows
+from repro.analysis.reports import build_report, format_csv, format_markdown, render_rows
+from repro.cli import main
+from repro.config import SimulationConfig, tiny_system
+from repro.experiments.configs import AppSpec
+from repro.experiments.scenario import (
+    CACHE_VERSION,
+    Scenario,
+    mixed_scenario,
+    mixed_solo_scenarios,
+    pairwise_scenario,
+    scenario_hash,
+    table1_scenario,
+)
+from repro.experiments.sweep import run_sweep
+from repro.results import ResultStore, flatten_run, join_metric, mean_metric, split_metric
+
+
+def _tiny_scenario(name="test/UR", routing="par", seed=1, scale=0.2) -> Scenario:
+    config = SimulationConfig(system=tiny_system(), seed=seed, record_packets=True)
+    return Scenario(
+        name=name,
+        jobs=(AppSpec("UR", 8, {"scale": scale}),),
+        config=config.with_routing(routing),
+    )
+
+
+FAKE_METRICS = {
+    "makespan_ns": 1000.0,
+    "events_fired": 42,
+    "comm_time_ns/UR": 500.0,
+    "comm_time_std_ns/UR": 50.0,
+}
+
+
+# ------------------------------------------------------------------ schema
+def test_metric_key_round_trip():
+    assert split_metric("makespan_ns") == ("makespan_ns", None)
+    assert split_metric("comm_time_ns/FFT3D") == ("comm_time_ns", "FFT3D")
+    assert join_metric("comm_time_ns", "FFT3D") == "comm_time_ns/FFT3D"
+    assert join_metric("makespan_ns") == "makespan_ns"
+
+
+def test_flatten_run_covers_scenario_and_per_app_metrics():
+    scenario = _tiny_scenario()
+    metrics = flatten_run(scenario.run())
+    for key in (
+        "makespan_ns", "events_fired", "packets_injected", "mean_comm_time_ns",
+        "comm_time_ns/UR", "comm_time_std_ns/UR", "execution_time_ns/UR",
+        "total_msg_bytes/UR", "injection_rate_gbps/UR", "peak_ingress_bytes/UR",
+        "packet_latency_mean_ns", "packet_latency_p99_ns",
+    ):
+        assert key in metrics, key
+    assert isinstance(metrics["events_fired"], int)
+    assert metrics["comm_time_ns/UR"] == metrics["mean_comm_time_ns"]
+
+
+# ------------------------------------------------------------------- store
+def test_store_record_and_get_round_trip(tmp_path):
+    scenario = _tiny_scenario()
+    with ResultStore(tmp_path / "r.sqlite") as store:
+        assert store.record(scenario, FAKE_METRICS, wall_seconds=1.5)
+        assert scenario in store
+        assert len(store) == 1
+        stored = store.get(scenario)
+        assert stored.metrics == FAKE_METRICS
+        # NUMERIC affinity: ints stay ints, floats stay floats.
+        assert isinstance(stored.metrics["events_fired"], int)
+        assert isinstance(stored.metrics["makespan_ns"], float)
+        assert stored.name == "test/UR"
+        assert stored.jobs == ("UR",)
+        assert stored.routing == "par" and stored.seed == 1
+        assert stored.wall_seconds == 1.5
+        assert stored.scenario == scenario.to_dict()
+
+
+def test_store_is_append_only_with_metric_backfill(tmp_path):
+    scenario = _tiny_scenario()
+    with ResultStore(tmp_path / "r.sqlite") as store:
+        assert store.record(scenario, FAKE_METRICS)
+        # Existing values are never overwritten...
+        assert not store.record(scenario, {"makespan_ns": -1.0})
+        assert store.get(scenario).metrics["makespan_ns"] == FAKE_METRICS["makespan_ns"]
+        # ...but re-recording backfills metrics the run did not have yet
+        # (how legacy JSON imports acquire the per-app metrics).
+        assert not store.record(scenario, {"total_msg_bytes/UR": 7})
+        assert store.get(scenario).metrics == {**FAKE_METRICS, "total_msg_bytes/UR": 7}
+
+
+def test_store_get_rejects_tampered_scenario(tmp_path):
+    """A hash collision / stale layout must read as a miss, not wrong data."""
+    path = tmp_path / "r.sqlite"
+    scenario = _tiny_scenario()
+    with ResultStore(path) as store:
+        store.record(scenario, FAKE_METRICS)
+    conn = sqlite3.connect(path)
+    doc = scenario.to_dict()
+    doc["sim"]["seed"] = 999
+    conn.execute(
+        "UPDATE runs SET scenario_json = ?",
+        (json.dumps(doc, sort_keys=True, separators=(",", ":")),),
+    )
+    conn.commit()
+    conn.close()
+    with ResultStore(path) as store:
+        assert store.get(scenario) is None
+
+
+def test_store_query_filters():
+    store = ResultStore()  # in-memory
+    for routing in ("par", "minimal"):
+        for seed in (1, 2):
+            scenario = _tiny_scenario(routing=routing, seed=seed)
+            store.record(scenario, {"makespan_ns": 100.0 * seed, "comm_time_ns/UR": 1.0})
+    assert len(store.runs()) == 4
+    assert len(store.runs(routing="par")) == 2
+    assert len(store.runs(seed=2)) == 2
+    assert len(store.runs(application="UR")) == 4
+    assert len(store.runs(application="FFT3D")) == 0
+    assert len(store.runs(scale=0.2)) == 4
+    assert len(store.runs(scale=1.0)) == 0
+    rows = store.rows(metric="makespan_ns", routing="minimal")
+    assert [row["value"] for row in rows] == [100.0, 200.0]
+    assert all(row["app"] is None for row in rows)
+
+
+def test_store_runs_named_matches_grid_expansions():
+    store = ResultStore()
+    store.record(_tiny_scenario(name="pairwise/UR"), FAKE_METRICS)
+    store.record(_tiny_scenario(name="pairwise/UR[par,seed=2]", seed=2), FAKE_METRICS)
+    store.record(_tiny_scenario(name="pairwise/UR+FFT3D"), FAKE_METRICS)
+    named = store.runs_named("pairwise/UR")
+    assert sorted(run.name for run in named) == ["pairwise/UR", "pairwise/UR[par,seed=2]"]
+
+
+def test_store_aggregate_across_seeds():
+    store = ResultStore()
+    for seed, comm in [(1, 10.0), (2, 20.0), (3, 30.0)]:
+        store.record(_tiny_scenario(seed=seed), {"comm_time_ns/UR": comm})
+    (row,) = store.aggregate("comm_time_ns")
+    assert row["count"] == 3
+    assert row["mean"] == pytest.approx(20.0)
+    assert row["min"] == 10.0 and row["max"] == 30.0
+    assert row["p99"] == pytest.approx(29.8)
+    assert row["app"] == "UR" and row["routing"] == "par"
+
+
+def test_mean_metric_reports_missing_metrics():
+    store = ResultStore()
+    store.record(_tiny_scenario(), {"makespan_ns": 1.0})
+    (run,) = store.runs()
+    with pytest.raises(ValueError, match="coarse metrics"):
+        mean_metric([run], "comm_time_ns", "UR")
+    with pytest.raises(ValueError, match="no stored runs"):
+        mean_metric([], "comm_time_ns", "UR")
+
+
+def test_mean_metric_skips_coarse_legacy_rows():
+    """A backfill run recorded next to a coarse legacy row wins the aggregate."""
+    store = ResultStore()
+    store.record(_tiny_scenario(name="test/UR[par,seed=1]"), {"makespan_ns": 1.0})
+    store.record(_tiny_scenario(name="test/UR"), {"comm_time_ns/UR": 42.0})
+    runs = store.runs_named("test/UR")
+    assert len(runs) == 2
+    assert mean_metric(runs, "comm_time_ns", "UR") == 42.0
+
+
+def test_import_json_cache_is_one_shot(tmp_path):
+    scenario = _tiny_scenario()
+    cache_dir = tmp_path / "legacy"
+    cache_dir.mkdir()
+    payload = {
+        "version": CACHE_VERSION,
+        "scenario": scenario.to_dict(),
+        "metrics": dict(FAKE_METRICS),
+        "wall_seconds": 2.0,
+    }
+    (cache_dir / f"{scenario_hash(scenario)}.json").write_text(json.dumps(payload))
+    (cache_dir / "not-a-cache-entry.json").write_text("{}")
+    (cache_dir / "old-version.json").write_text(json.dumps({**payload, "version": 1}))
+    with ResultStore(tmp_path / "r.sqlite") as store:
+        assert store.import_json_cache(cache_dir) == 1
+        assert store.import_json_cache(cache_dir) == 0  # idempotent
+        assert store.get(scenario).metrics == FAKE_METRICS
+
+
+def test_run_sweep_with_store_hits_every_point_when_warm(tmp_path):
+    path = tmp_path / "r.sqlite"
+    grid = [_tiny_scenario(seed=seed) for seed in (1, 2)]
+    cold = run_sweep(grid, workers=1, store=path)
+    assert [r.cached for r in cold] == [False, False]
+    warm = run_sweep(grid, workers=1, store=path)
+    assert [r.cached for r in warm] == [True, True]
+    for before, after in zip(cold, warm):
+        assert before.metrics == after.metrics
+
+
+# ----------------------------------------------------------------- renderers
+ROWS = [{"a": 1, "b": 2.5}, {"a": 2, "b": 12345.0}]
+
+
+def test_format_csv_and_markdown():
+    assert format_csv(ROWS) == "a,b\n1,2.5\n2,12345.0"
+    markdown = format_markdown(ROWS)
+    assert markdown.splitlines()[0] == "| a | b |"
+    assert markdown.splitlines()[1] == "| --- | --- |"
+    assert "| 2 | 12,345.0 |" in markdown
+    assert render_rows(ROWS, fmt="csv") == format_csv(ROWS)
+    with pytest.raises(ValueError, match="unknown format"):
+        render_rows(ROWS, fmt="html")
+
+
+# ------------------------------------------------------- store-backed reports
+def _fake_table1_store() -> ResultStore:
+    store = ResultStore()
+    for app, (volume, execution, rate, peak) in {
+        "UR": (1000, 2000.0, 0.5, 400),
+        "FFT3D": (4000, 1000.0, 4.0, 800),
+    }.items():
+        scenario = table1_scenario(app)
+        store.record(
+            scenario,
+            {
+                f"total_msg_bytes/{app}": volume,
+                f"execution_time_ns/{app}": execution,
+                f"injection_rate_gbps/{app}": rate,
+                f"peak_ingress_bytes/{app}": peak,
+            },
+        )
+    return store
+
+
+def test_table1_report_golden_output():
+    report = build_report(_fake_table1_store(), "table1")
+    assert report == "\n".join(
+        [
+            "Table I — application communication intensity",
+            "pattern   app    total_msg_bytes  execution_time_ns  injection_rate_gbps  peak_ingress_bytes",
+            "--------  -----  ---------------  -----------------  -------------------  ------------------",
+            "alltoall  FFT3D  4,000.0          1,000.0            4.000                800.000           ",
+            "random    UR     1,000.0          2,000.0            0.500                400.000           ",
+        ]
+    )
+
+
+def test_table1_report_csv_format():
+    report = build_report(_fake_table1_store(), "table1", fmt="csv")
+    lines = report.splitlines()
+    assert lines[0] == "pattern,app,total_msg_bytes,execution_time_ns,injection_rate_gbps,peak_ingress_bytes"
+    assert lines[1].startswith("alltoall,FFT3D,4000.0,")
+
+
+def test_report_on_empty_store_raises():
+    with pytest.raises(ValueError, match="no table1"):
+        build_report(ResultStore(), "table1")
+    with pytest.raises(ValueError, match="unknown report"):
+        build_report(ResultStore(), "table9")
+
+
+def _record_pairwise(store, routing, seed, standalone_comm, interfered_comm):
+    config = SimulationConfig(system=tiny_system(), seed=seed).with_routing(routing)
+    base = pairwise_scenario("FFT3D", None, config=config, target_ranks=8)
+    pair = pairwise_scenario("FFT3D", "Halo3D", config=config, target_ranks=8, background_ranks=8)
+    store.record(base, {"comm_time_ns/FFT3D": standalone_comm, "comm_time_std_ns/FFT3D": 1.0})
+    store.record(
+        pair,
+        {
+            "comm_time_ns/FFT3D": interfered_comm,
+            "comm_time_std_ns/FFT3D": 10.0,
+            "comm_time_ns/Halo3D": 7.0,
+            "comm_time_std_ns/Halo3D": 2.0,
+        },
+    )
+
+
+def test_pairwise_comparison_rows_aggregate_across_seeds():
+    store = ResultStore()
+    _record_pairwise(store, "par", seed=1, standalone_comm=100.0, interfered_comm=150.0)
+    _record_pairwise(store, "par", seed=2, standalone_comm=100.0, interfered_comm=250.0)
+    (row,) = comparison_rows(store, "FFT3D", "Halo3D")
+    assert row["routing"] == "par"
+    assert row["standalone_comm_ns"] == pytest.approx(100.0)
+    assert row["interfered_comm_ns"] == pytest.approx(200.0)  # mean of the seeds
+    assert row["slowdown"] == pytest.approx(2.0)
+    assert row["variation"] == pytest.approx(0.1)
+    # Standalone-only row: the target compared against itself.
+    (baseline_row,) = comparison_rows(store, "FFT3D", None)
+    assert baseline_row["background"] == "None"
+    assert baseline_row["slowdown"] == pytest.approx(1.0)
+
+
+def test_pairwise_comparison_rows_missing_run_raises():
+    store = ResultStore()
+    with pytest.raises(ValueError, match="no stored"):
+        comparison_rows(store, "FFT3D", "Halo3D", routings=["par"])
+
+
+def test_mixed_rows_from_store():
+    store = ResultStore()
+    config = SimulationConfig(system=tiny_system(), seed=1).with_routing("par")
+    mixed = mixed_scenario(config=config, total_nodes=24)
+    solos = mixed_solo_scenarios(config=config, total_nodes=24)
+    metrics = {}
+    for spec in mixed.jobs:
+        metrics[f"comm_time_ns/{spec.name}"] = 30.0
+        metrics[f"comm_time_std_ns/{spec.name}"] = 3.0
+    store.record(mixed, metrics)
+    for solo in solos:
+        app = solo.jobs[0].name
+        store.record(solo, {f"comm_time_ns/{app}": 10.0, f"comm_time_std_ns/{app}": 1.0})
+    rows = mixed_rows_from_store(store)
+    assert len(rows) == len(mixed.jobs)
+    assert all(row["slowdown"] == pytest.approx(3.0) for row in rows)
+    assert all(row["variation"] == pytest.approx(0.3) for row in rows)
+
+
+# ------------------------------------------------------------------ CLI report
+def test_cli_report_reads_store_without_simulating(tmp_path, capsys):
+    path = tmp_path / "r.sqlite"
+    with ResultStore(path) as store:
+        for app, (volume, execution, rate, peak) in {
+            "UR": (1000, 2000.0, 0.5, 400),
+        }.items():
+            store.record(
+                table1_scenario(app),
+                {
+                    f"total_msg_bytes/{app}": volume,
+                    f"execution_time_ns/{app}": execution,
+                    f"injection_rate_gbps/{app}": rate,
+                    f"peak_ingress_bytes/{app}": peak,
+                },
+            )
+    assert main(["report", "table1", "--store", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "UR" in out
+
+    assert main(["report", "table1", "--store", str(path), "--format", "csv"]) == 0
+    assert capsys.readouterr().out.startswith("pattern,app,")
+
+
+def test_cli_report_missing_store_fails_cleanly(tmp_path, capsys):
+    missing = tmp_path / "nope.sqlite"
+    assert main(["report", "table1", "--store", str(missing)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_report_output_file(tmp_path, capsys):
+    path = tmp_path / "r.sqlite"
+    with ResultStore(path) as store:
+        store.record(
+            table1_scenario("UR"),
+            {
+                "total_msg_bytes/UR": 1,
+                "execution_time_ns/UR": 1.0,
+                "injection_rate_gbps/UR": 1.0,
+                "peak_ingress_bytes/UR": 1,
+            },
+        )
+    target = tmp_path / "t1.md"
+    assert main(["report", "table1", "--store", str(path), "--format", "markdown", "-o", str(target)]) == 0
+    assert target.read_text().startswith("### Table I")

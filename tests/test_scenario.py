@@ -227,14 +227,17 @@ def test_swept_pairwise_grid_matches_serial_pairwise_study_bit_for_bit():
 
 
 def test_scenario_sweep_caches_by_scenario_hash(tmp_path):
-    cache = tmp_path / "cache"
+    from repro.results import ResultStore
+
+    store_path = tmp_path / "results.sqlite"
     grid = expand_grid(_tiny_scenario(), seeds=[1, 2])
-    first = run_sweep(grid, workers=1, cache_dir=str(cache))
+    first = run_sweep(grid, workers=1, store=store_path)
     assert [r.cached for r in first] == [False, False]
-    assert {p.name for p in cache.glob("*.json")} == {
-        f"{scenario_hash(s)}.json" for s in grid
-    }
-    second = run_sweep(grid, workers=1, cache_dir=str(cache))
+    with ResultStore(store_path) as store:
+        assert {run.scenario_hash for run in store.runs()} == {
+            scenario_hash(s) for s in grid
+        }
+    second = run_sweep(grid, workers=1, store=store_path)
     assert [r.cached for r in second] == [True, True]
     for a, b in zip(first, second):
         assert a.metrics == b.metrics

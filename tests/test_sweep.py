@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.experiments.scenario import CACHE_VERSION
 from repro.experiments.sweep import (
     SweepPoint,
     SweepResult,
@@ -11,6 +12,7 @@ from repro.experiments.sweep import (
     point_hash,
     run_sweep,
 )
+from repro.results import ResultStore
 
 #: Small-but-real sweep point: tiny system so every run finishes in well
 #: under a second.
@@ -105,32 +107,68 @@ def test_run_sweep_serial_produces_metrics():
     assert row["workload"] == "UR" and row["makespan_ns"] > 0
 
 
-def test_run_sweep_caches_results(tmp_path):
-    cache = tmp_path / "cache"
+def test_run_sweep_caches_results_in_store(tmp_path):
+    store_path = tmp_path / "results.sqlite"
     point = _tiny_point()
-    first = run_sweep([point], workers=1, cache_dir=str(cache))
+    first = run_sweep([point], workers=1, store=store_path)
     assert not first[0].cached
-    files = list(cache.glob("*.json"))
-    assert len(files) == 1
-    payload = json.loads(files[0].read_text())
-    # The cache stores the canonically-serialized scenario, not the point.
-    assert payload["scenario"] == point.to_scenario().to_dict()
+    with ResultStore(store_path) as store:
+        # The store records the canonically-serialized scenario, not the point.
+        stored = store.get(point.to_scenario())
+        assert stored is not None
+        assert stored.scenario == point.to_scenario().to_dict()
+        assert stored.metrics == first[0].metrics
 
-    second = run_sweep([point], workers=1, cache_dir=str(cache))
+    second = run_sweep([point], workers=1, store=store_path)
     assert second[0].cached
     assert second[0].metrics == first[0].metrics
 
 
-def test_run_sweep_ignores_stale_cache_entries(tmp_path):
-    cache = tmp_path / "cache"
+def test_run_sweep_accepts_open_store(tmp_path):
     point = _tiny_point()
-    run_sweep([point], workers=1, cache_dir=str(cache))
-    path = cache / f"{point_hash(point)}.json"
-    payload = json.loads(path.read_text())
-    payload["scenario"]["sim"]["seed"] = 999  # simulate a collision / stale layout
-    path.write_text(json.dumps(payload))
+    with ResultStore(tmp_path / "r.sqlite") as store:
+        first = run_sweep([point], workers=1, store=store)
+        second = run_sweep([point], workers=1, store=store)
+    assert not first[0].cached and second[0].cached
+
+
+def test_run_sweep_imports_legacy_json_cache(tmp_path):
+    """A pre-store cache_dir of <hash>.json entries keeps its hits."""
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    point = _tiny_point()
+    scenario = point.to_scenario()
+    payload = {
+        "version": CACHE_VERSION,
+        "scenario": scenario.to_dict(),
+        "metrics": {"makespan_ns": 123.0, "mean_comm_time_ns": 1.0},
+        "wall_seconds": 2.0,
+    }
+    (cache / f"{point_hash(point)}.json").write_text(json.dumps(payload))
     results = run_sweep([point], workers=1, cache_dir=str(cache))
+    assert results[0].cached
+    assert results[0].metrics["makespan_ns"] == 123.0
+    assert (cache / "results.sqlite").is_file()
+
+
+def test_run_sweep_ignores_and_heals_stale_cache_entries(tmp_path):
+    import sqlite3
+
+    store_path = tmp_path / "results.sqlite"
+    point = _tiny_point()
+    run_sweep([point], workers=1, store=store_path)
+    conn = sqlite3.connect(store_path)
+    # Simulate a stale layout under the same hash: stored scenario != requested.
+    conn.execute("UPDATE runs SET scenario_json = replace(scenario_json, '\"seed\":1', '\"seed\":999')")
+    conn.commit()
+    conn.close()
+    results = run_sweep([point], workers=1, store=store_path)
     assert not results[0].cached
+    # Recording the re-simulated result replaced the stale row (self-heal),
+    # so the next sweep is warm again instead of re-simulating forever.
+    healed = run_sweep([point], workers=1, store=store_path)
+    assert healed[0].cached
+    assert healed[0].metrics == results[0].metrics
 
 
 def test_run_sweep_parallel_matches_serial_exactly():

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the repo's docs resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for ``[text](target)`` links, skips
+absolute URLs and pure anchors, and verifies that each remaining target
+exists relative to the file that references it.  Exits non-zero listing the
+broken links.  Used by the CI ``docs`` job and ``tests/test_docs_links.py``.
+
+Run with:  python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+#: Inline Markdown link: [text](target).  Code spans are stripped first.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_CODE_BLOCK = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """The Markdown files whose links the repo guarantees to keep valid."""
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> List[str]:
+    """Every relative link in the checked files that does not resolve."""
+    failures = []
+    for md in markdown_files(root):
+        text = _CODE_SPAN.sub("", _CODE_BLOCK.sub("", md.read_text()))
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                failures.append(f"{md.relative_to(root)}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    if not files:
+        print("error: no Markdown files found to check", file=sys.stderr)
+        return 1
+    failures = broken_links(root)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} broken link(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve in {len(files)} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
