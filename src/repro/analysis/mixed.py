@@ -105,6 +105,8 @@ def mixed_rows_from_store(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[dict]:
     """Fig. 10 interference rows built from a result store — no simulation.
 
@@ -119,7 +121,11 @@ def mixed_rows_from_store(
     from repro.results.store import ensure_comparable, ensure_uniform, mean_metric
 
     filters = dict(seed=seed, scale=scale, placement=placement)
-    mixed_runs = store.runs_named(MIXED_SCENARIO_NAME, **filters)
+    # start_time/knobs narrow the mixed co-run; solo baselines are always the
+    # simultaneous-arrival standalone runs (as in pairwise.comparison_rows).
+    mixed_runs = store.runs_named(
+        MIXED_SCENARIO_NAME, start_time=start_time, knobs=knobs, **filters
+    )
     if not mixed_runs:
         raise ValueError(
             f"no stored {MIXED_SCENARIO_NAME!r} runs; populate the store with "
@@ -139,7 +145,9 @@ def mixed_rows_from_store(
         for app in mixes[0].jobs:
             solos = [
                 run
-                for run in store.runs_named(f"{MIXED_SOLO_PREFIX}{app}", **filters)
+                for run in store.runs_named(
+                    f"{MIXED_SOLO_PREFIX}{app}", start_time=0.0, **filters
+                )
                 if run.routing == routing
             ]
             if not solos:

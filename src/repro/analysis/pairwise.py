@@ -124,6 +124,8 @@ def comparison_rows(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[dict]:
     """Fig. 4 comparison rows built from a result store — no simulation.
 
@@ -132,9 +134,18 @@ def comparison_rows(
     aggregates each metric across the matching seeds, and returns one row per
     routing algorithm in the :meth:`PairwiseResult.as_dict` schema.
     ``routings=None`` reports every routing present; the remaining filters
-    narrow the matched runs.  Raises ``ValueError`` when a required run is
-    missing (populate the store with ``dragonfly-sim sweep --scenario
-    pairwise/<T>+<B> --store PATH``).
+    narrow the matched runs.  ``start_time`` narrows the *co-run* family to
+    one arrival stagger (``0.0`` = simultaneous), which disambiguates stores
+    holding both staggered and simultaneous runs of one pair; the
+    comparison's baseline is always the simultaneous-arrival standalone run
+    (a standalone job delayed into an empty network is the same experiment
+    shifted in time).  With ``background=None`` — a pure baseline report —
+    ``start_time`` selects among the standalone runs themselves.  ``knobs``
+    (``{job: {kwarg: value}}``) likewise narrows the co-run family to one
+    cell of a ``job_knobs`` sweep, e.g. ``{"hotspot": {"hot_fraction":
+    0.9}}``.  Raises ``ValueError`` when a required run is missing (populate
+    the store with ``dragonfly-sim sweep --scenario pairwise/<T>+<B> --store
+    PATH``).
     """
     from repro.results.store import ensure_comparable, ensure_uniform, mean_metric
 
@@ -143,8 +154,17 @@ def comparison_rows(
     base_name = f"pairwise/{target}"
     pair_name = f"pairwise/{target}+{background}" if background else base_name
     filters = dict(seed=seed, scale=scale, placement=placement)
-    base_runs = store.runs_named(base_name, **filters)
-    pair_runs = base_runs if background is None else store.runs_named(pair_name, **filters)
+    base_runs = store.runs_named(
+        base_name,
+        start_time=start_time if background is None else 0.0,
+        knobs=knobs if background is None else None,
+        **filters,
+    )
+    pair_runs = (
+        base_runs
+        if background is None
+        else store.runs_named(pair_name, start_time=start_time, knobs=knobs, **filters)
+    )
     if routings is None:
         routings = sorted({run.routing for run in (pair_runs if background else base_runs)})
         if not routings:

@@ -36,6 +36,8 @@ __all__ = [
     "interference_report",
     "render_rows",
     "report_names",
+    "synthetic_rows",
+    "synthetic_standalone_rows",
     "table1_rows",
     "table2_rows",
 ]
@@ -156,6 +158,8 @@ def table1_rows(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[dict]:
     """Table I rows (application communication intensity) from a result store.
 
@@ -169,7 +173,8 @@ def table1_rows(
 
     by_app: Dict[str, list] = {}
     for run in store.runs(
-        name_prefix="table1/", routing=routing, seed=seed, scale=scale, placement=placement
+        name_prefix="table1/", routing=routing, seed=seed, scale=scale,
+        placement=placement, start_time=start_time, knobs=knobs,
     ):
         if len(run.jobs) == 1:
             by_app.setdefault(run.jobs[0], []).append(run)
@@ -202,6 +207,8 @@ def table2_rows(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[dict]:
     """Table II rows (mixed-workload job sizes + measured comm time) from a store.
 
@@ -214,7 +221,8 @@ def table2_rows(
     from repro.results.store import ensure_uniform, mean_metric
 
     runs = store.runs_named(
-        "mixed/table2", routing=routing, seed=seed, scale=scale, placement=placement
+        "mixed/table2", routing=routing, seed=seed, scale=scale,
+        placement=placement, start_time=start_time, knobs=knobs,
     )
     if not runs:
         raise ValueError(
@@ -241,9 +249,117 @@ def table2_rows(
     return rows
 
 
+def synthetic_rows(
+    store,
+    target: str,
+    routings: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[dict]:
+    """Synthetic-background comparison rows for one target — no simulation.
+
+    For every synthetic pattern with a stored ``pairwise/<target>+<pattern>``
+    co-run, builds the Fig. 4-style comparison against the stored
+    ``pairwise/<target>`` baseline (one row per pattern × routing).  This is
+    the ``dragonfly-sim report synthetic/<Target>`` table: how much each
+    traffic pattern slows the target down, side by side.
+    """
+    from repro.analysis.pairwise import comparison_rows
+    from repro.workloads import SYNTHETIC_PATTERNS, resolve_application
+
+    target = resolve_application(target)
+    # One prefix query discovers every stored background family; the names
+    # are either "pairwise/<T>+<p>" or a grid expansion "...[axis,...]".
+    prefix = f"pairwise/{target}+"
+    present = {
+        run.name[len(prefix):].partition("[")[0]
+        for run in store.runs(
+            name_prefix=prefix,
+            seed=seed, scale=scale, placement=placement, start_time=start_time,
+            knobs=knobs,
+        )
+    }
+    found = [pattern for pattern in sorted(SYNTHETIC_PATTERNS) if pattern in present]
+    if not found:
+        raise ValueError(
+            f"no stored pairwise/{target}+<pattern> runs for any synthetic "
+            f"pattern ({sorted(SYNTHETIC_PATTERNS)}); populate the store with "
+            f"e.g. 'dragonfly-sim run pairwise/{target}+hotspot --store PATH' "
+            f"(and 'dragonfly-sim run pairwise/{target} --store PATH' for the baseline)"
+        )
+    rows: List[dict] = []
+    for pattern in found:
+        rows.extend(
+            comparison_rows(
+                store, target, pattern,
+                routings=routings, seed=seed, scale=scale, placement=placement,
+                start_time=start_time, knobs=knobs,
+            )
+        )
+    rows.sort(key=lambda row: (row["background"], row["routing"]))
+    return rows
+
+
+def synthetic_standalone_rows(
+    store,
+    pattern: str,
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[dict]:
+    """Intensity rows of one standalone synthetic pattern, per routing.
+
+    Reads the stored ``synthetic/<pattern>`` runs (the registered standalone
+    presets) and renders Table I-style intensity columns — this is what
+    ``dragonfly-sim report synthetic/hotspot`` means when the name after
+    ``synthetic/`` is a pattern rather than a target application.
+    """
+    from repro.results.store import ensure_uniform, mean_metric
+
+    runs = store.runs_named(
+        f"synthetic/{pattern}",
+        routing=routing, seed=seed, scale=scale, placement=placement,
+        start_time=start_time, knobs=knobs,
+    )
+    if not runs:
+        raise ValueError(
+            f"no stored synthetic/{pattern} runs; populate the store with "
+            f"'dragonfly-sim run synthetic/{pattern} --store PATH'"
+        )
+    rows = []
+    for algo in sorted({run.routing for run in runs}):
+        matched = [run for run in runs if run.routing == algo]
+        ensure_uniform(matched, f"synthetic/{pattern}")
+        rows.append(
+            {
+                "routing": algo,
+                "pattern": pattern,
+                "app": pattern,
+                "total_msg_bytes": mean_metric(matched, "total_msg_bytes", pattern),
+                "execution_time_ns": mean_metric(matched, "execution_time_ns", pattern),
+                "injection_rate_gbps": mean_metric(matched, "injection_rate_gbps", pattern),
+                "peak_ingress_bytes": mean_metric(matched, "peak_ingress_bytes", pattern),
+            }
+        )
+    return rows
+
+
 def report_names() -> List[str]:
     """Names ``build_report`` accepts (pairwise reports are parameterized)."""
-    return ["table1", "table2", "mixed", "pairwise/<Target>+<Background>"]
+    return [
+        "table1",
+        "table2",
+        "mixed",
+        "pairwise/<Target>+<Background>",
+        "synthetic/<Target>",
+        "synthetic/<pattern>",
+    ]
 
 
 def build_report(
@@ -254,12 +370,15 @@ def build_report(
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> str:
     """Build a named report from a result store, rendered in ``fmt``.
 
     ``name`` is ``table1``, ``table2``, ``mixed`` (the Fig. 10 interference
-    rows) or ``pairwise/<Target>+<Background>`` (``pairwise/<Target>`` for
-    the standalone baseline row).  ``routing``/``seed``/``scale``/
+    rows), ``pairwise/<Target>+<Background>`` (``pairwise/<Target>`` for
+    the standalone baseline row) or ``synthetic/<Target>`` (the target
+    against every stored synthetic background).  ``routing``/``seed``/``scale``/
     ``placement`` narrow the stored runs considered; metrics are aggregated
     (mean) across whatever still matches.  Backs ``dragonfly-sim report``.
     """
@@ -272,18 +391,25 @@ def build_report(
     routings = [routing] if routing is not None else None
     if name == "table1":
         title = "Table I — application communication intensity"
-        rows = table1_rows(store, routing=routing, seed=seed, scale=scale, placement=placement)
+        rows = table1_rows(
+            store, routing=routing, seed=seed, scale=scale, placement=placement,
+            start_time=start_time, knobs=knobs,
+        )
         columns = TABLE1_COLUMNS
     elif name in ("table2", "mixed/table2"):
         title = "Table II — mixed workload job sizes and communication time"
-        rows = table2_rows(store, routing=routing, seed=seed, scale=scale, placement=placement)
+        rows = table2_rows(
+            store, routing=routing, seed=seed, scale=scale, placement=placement,
+            start_time=start_time, knobs=knobs,
+        )
         columns = TABLE2_COLUMNS
     elif name == "mixed":
         from repro.analysis.mixed import mixed_rows_from_store
 
         title = "Mixed workload — per-application interference (Fig. 10)"
         rows = mixed_rows_from_store(
-            store, routings=routings, seed=seed, scale=scale, placement=placement
+            store, routings=routings, seed=seed, scale=scale, placement=placement,
+            start_time=start_time, knobs=knobs,
         )
         columns = MIXED_COLUMNS
     elif name.startswith("pairwise/"):
@@ -297,8 +423,37 @@ def build_report(
         rows = comparison_rows(
             store, target, background or None,
             routings=routings, seed=seed, scale=scale, placement=placement,
+            start_time=start_time, knobs=knobs,
         )
         columns = PAIRWISE_COLUMNS
+    elif name.startswith("synthetic/"):
+        from repro.workloads import SYNTHETIC_PATTERNS, resolve_application
+
+        target = name[len("synthetic/"):]
+        if not target:
+            raise ValueError(
+                "synthetic report needs a name: synthetic/<Target> (interference "
+                "against every stored pattern) or synthetic/<pattern> (that "
+                "pattern's standalone intensity)"
+            )
+        # `synthetic/<pattern>` is also a scenario family ("run" stores its
+        # standalone runs under that name), so a pattern name here reports
+        # those runs rather than treating the pattern as a co-run target.
+        if resolve_application(target) in SYNTHETIC_PATTERNS:
+            pattern = resolve_application(target)
+            title = f"Synthetic pattern intensity — {pattern} (standalone)"
+            rows = synthetic_standalone_rows(
+                store, pattern, routing=routing, seed=seed, scale=scale,
+                placement=placement, start_time=start_time, knobs=knobs,
+            )
+            columns = ["routing"] + TABLE1_COLUMNS
+        else:
+            title = f"Synthetic-background interference — {target}"
+            rows = synthetic_rows(
+                store, target, routings=routings, seed=seed, scale=scale,
+                placement=placement, start_time=start_time, knobs=knobs,
+            )
+            columns = PAIRWISE_COLUMNS
     else:
         raise ValueError(f"unknown report {name!r}; choose from {report_names()}")
 

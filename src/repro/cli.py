@@ -149,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment seeds (default: --seed if given, else the base value)",
     )
     sweep.add_argument(
+        "--start-times", nargs="+", type=float, default=None, metavar="NS",
+        help="stagger the base scenario's first job across these arrival "
+             "times (ns); --scenario grids only",
+    )
+    sweep.add_argument(
         "--system", default="small", choices=["tiny", "small", "paper"],
         help="system shape for --workloads grids (default: the 72-node bench system)",
     )
@@ -191,8 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "name",
-        help="report name: table1, table2, mixed, or "
-             "pairwise/<Target>+<Background>",
+        help="report name: table1, table2, mixed, "
+             "pairwise/<Target>+<Background>, or synthetic/<Target>",
     )
     report.add_argument(
         "--store", default=str(DEFAULT_STORE_PATH), metavar="PATH",
@@ -208,6 +213,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--placement", default=None,
         help="only consider runs under this placement policy (random, contiguous)",
+    )
+    report.add_argument(
+        "--start-time", type=float, default=None, metavar="NS",
+        help="for pairwise/synthetic reports: only consider co-runs whose "
+             "staggered arrival time equals NS (0 = simultaneous arrivals)",
+    )
+    report.add_argument(
+        "--knob", action="append", default=None, metavar="JOB:KEY=VALUE",
+        help="only consider runs whose JOB carries this kwarg value, e.g. "
+             "--knob hotspot:hot_fraction=0.9 (repeatable; selects one cell "
+             "of a job_knobs sweep)",
     )
     report.add_argument(
         "--output", "-o", default=None, metavar="FILE",
@@ -324,11 +340,19 @@ def _run_sweep(args) -> int:
         # Only the axes the user actually passed are expanded; everything
         # else keeps the base scenario's value.
         grid = expand_grid(
-            bases, routings=args.routings, placements=args.placements, seeds=seeds
+            bases, routings=args.routings, placements=args.placements, seeds=seeds,
+            start_times=args.start_times,
         )
         columns = ["scenario", "jobs", "routing", "placement", "seed",
                    "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached"]
     else:
+        if args.start_times is not None:
+            print(
+                "error: --start-times requires --scenario (workload grids "
+                "describe standalone runs, which always start at t=0)",
+                file=sys.stderr,
+            )
+            return 2
         grid = build_grid(
             workloads=args.workloads,
             routings=args.routings if args.routings is not None else list(ROUTINGS),
@@ -446,6 +470,35 @@ def _run_run(args) -> int:
     return 0
 
 
+def _parse_knobs(specs: Optional[List[str]]) -> Optional[dict]:
+    """Parse repeated ``JOB:KEY=VALUE`` --knob flags into {job: {key: value}}.
+
+    Values parse as int, then float, then bool literals, then plain strings —
+    matching the JSON scalar types job kwargs serialize to.
+    """
+    if not specs:
+        return None
+    knobs: dict = {}
+    for spec in specs:
+        job, sep, assignment = spec.partition(":")
+        key, eq, raw = assignment.partition("=")
+        if not sep or not eq or not job or not key:
+            raise ValueError(f"--knob expects JOB:KEY=VALUE, got {spec!r}")
+        from repro.workloads import resolve_application
+
+        job = resolve_application(job)  # stored job names are canonical
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = {"true": True, "false": False}.get(raw.lower(), raw)
+        knobs.setdefault(job, {})[key] = value
+    return knobs
+
+
 def _run_report(args) -> int:
     from repro.analysis.reports import build_report
 
@@ -468,6 +521,8 @@ def _run_report(args) -> int:
                 seed=getattr(args, "seed", None),
                 scale=getattr(args, "scale", None),
                 placement=args.placement,
+                start_time=args.start_time,
+                knobs=_parse_knobs(args.knob),
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -31,3 +31,5 @@ class EventKind(enum.IntEnum):
     ROUTING_FEEDBACK = 7
     #: Statistics sampling tick.
     STATS_SAMPLE = 8
+    #: A job's rank programs start executing (staggered arrival).
+    JOB_START = 9

@@ -18,10 +18,12 @@ from repro.experiments.configs import (
     BENCH_RANKS,
     PAPER_TABLE2_JOB_SIZES,
     ROUTINGS,
+    SYNTHETIC_RANKS,
     bench_config,
     bench_spec,
     mixed_workload_specs,
     pairwise_specs,
+    synthetic_spec,
     table1_specs,
 )
 from repro.experiments.runner import RunResult, run_standalone, run_workloads
@@ -36,6 +38,7 @@ from repro.experiments.scenario import (
     register_scenario,
     scenario_hash,
     scenario_names,
+    synthetic_scenario,
     table1_scenario,
 )
 
@@ -44,6 +47,7 @@ __all__ = [
     "BENCH_RANKS",
     "PAPER_TABLE2_JOB_SIZES",
     "ROUTINGS",
+    "SYNTHETIC_RANKS",
     "RunResult",
     "Scenario",
     "bench_config",
@@ -61,6 +65,8 @@ __all__ = [
     "run_workloads",
     "scenario_hash",
     "scenario_names",
+    "synthetic_scenario",
+    "synthetic_spec",
     "table1_scenario",
     "table1_specs",
 ]

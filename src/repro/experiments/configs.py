@@ -17,6 +17,7 @@ See DESIGN.md ("Substitutions") and EXPERIMENTS.md for the mapping.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,10 +29,12 @@ __all__ = [
     "MIXED_WORKLOAD_FRACTIONS",
     "PAPER_TABLE2_JOB_SIZES",
     "ROUTINGS",
+    "SYNTHETIC_RANKS",
     "bench_config",
     "bench_spec",
     "mixed_workload_specs",
     "pairwise_specs",
+    "synthetic_spec",
     "table1_specs",
 ]
 
@@ -69,6 +72,20 @@ BENCH_RANKS: Dict[str, int] = {
     "LULESH": 27,
 }
 
+#: Benchmark-scale rank counts of the synthetic traffic-pattern family
+#: (see :mod:`repro.workloads.synthetic`).  Kept separate from
+#: :data:`BENCH_RANKS` so Table I — defined over the paper's nine proxy
+#: applications — is unchanged by the synthetic catalog.  32 = 2^5 keeps the
+#: bit-permutation patterns (bit-complement, transpose) exact.
+SYNTHETIC_RANKS: Dict[str, int] = {
+    "permutation": 32,
+    "shift": 32,
+    "bit-complement": 32,
+    "transpose": 32,
+    "hotspot": 32,
+    "bursty": 32,
+}
+
 #: Rank counts used when two applications co-run on the 72-node system.  As
 #: in the paper the pair together fills most of the machine (the paper splits
 #: the 1,056-node system in half per application).
@@ -82,6 +99,7 @@ PAIRWISE_RANKS: Dict[str, int] = {
     "CosmoFlow": 32,
     "DL": 32,
     "LULESH": 27,
+    **SYNTHETIC_RANKS,
 }
 
 #: Extra iterations given to the *background* application of a pairwise run so
@@ -98,20 +116,95 @@ BACKGROUND_ITERATION_BOOST: Dict[str, int] = {
     "CosmoFlow": 3,
     "DL": 5,
     "LULESH": 6,
+    # The synthetic patterns are UR-class small-message workloads; like UR
+    # they need many iterations to stay active for a whole target run.
+    "permutation": 60,
+    "shift": 60,
+    "bit-complement": 60,
+    "transpose": 60,
+    "hotspot": 60,
+    "bursty": 90,  # only duty_cycle of its iterations inject
 }
 
 
 @dataclass(frozen=True)
 class AppSpec:
-    """Declarative description of one job in an experiment."""
+    """Declarative description of one job in an experiment.
+
+    Construction is eagerly validated, mirroring
+    :class:`~repro.config.RoutingConfig`: the application name is resolved
+    against the workload registry (and canonicalized), ``num_ranks`` must be
+    a positive integer, ``kwargs`` must only contain keywords the
+    application's constructor accepts, and ``start_time`` — the simulated
+    time (ns) at which the job's ranks begin executing — must be finite and
+    non-negative.  A bad spec therefore fails where the experiment is
+    *described*, with the offending job named, rather than inside a worker.
+    """
 
     name: str
     num_ranks: int
     kwargs: dict = field(default_factory=dict)
+    #: Simulated arrival time of the job in ns (0.0 = present from the start).
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        from repro.workloads import application_kwargs, resolve_application
+
+        if not isinstance(self.name, str):
+            raise ValueError(f"job name must be a string, got {self.name!r}")
+        canonical = resolve_application(self.name)
+        if canonical != self.name:
+            object.__setattr__(self, "name", canonical)
+        if isinstance(self.num_ranks, bool) or not isinstance(self.num_ranks, int):
+            raise ValueError(
+                f"job {self.name!r}: num_ranks must be an integer, "
+                f"got {self.num_ranks!r}"
+            )
+        if self.num_ranks < 1:
+            raise ValueError(
+                f"job {self.name!r} needs a positive rank count, got {self.num_ranks}"
+            )
+        if not isinstance(self.kwargs, dict):
+            raise ValueError(f"job {self.name!r}: kwargs must be a dict")
+        accepted = application_kwargs(self.name)
+        if accepted is not None:
+            unknown = sorted(set(self.kwargs) - set(accepted))
+            if unknown:
+                raise ValueError(
+                    f"job {self.name!r} does not accept kwargs {unknown}; "
+                    f"valid kwargs: {sorted(accepted)}"
+                )
+        seed = self.kwargs.get("seed")
+        if seed is not None and (
+            isinstance(seed, bool) or not isinstance(seed, int) or seed < 0
+        ):
+            # The per-application RNG streams derive numpy seeds from this,
+            # which must be non-negative integers; catch it here with the
+            # job named instead of as a bare numpy error in a sweep worker.
+            raise ValueError(
+                f"job {self.name!r}: seed must be a non-negative integer, got {seed!r}"
+            )
+        try:
+            start = float(self.start_time)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"job {self.name!r}: start_time must be a number, "
+                f"got {self.start_time!r}"
+            ) from None
+        if not math.isfinite(start) or start < 0:
+            raise ValueError(
+                f"job {self.name!r}: start_time must be finite and non-negative, "
+                f"got {self.start_time!r}"
+            )
+        object.__setattr__(self, "start_time", start)
 
     def with_ranks(self, num_ranks: int) -> "AppSpec":
         """Copy of this spec with a different rank count."""
-        return AppSpec(self.name, num_ranks, dict(self.kwargs))
+        return AppSpec(self.name, num_ranks, dict(self.kwargs), self.start_time)
+
+    def with_start_time(self, start_time: float) -> "AppSpec":
+        """Copy of this spec arriving at ``start_time`` ns."""
+        return AppSpec(self.name, self.num_ranks, dict(self.kwargs), start_time)
 
 
 #: Link bandwidth (Gb/s) of the benchmark system.  The paper uses 200 Gb/s
@@ -145,6 +238,26 @@ def bench_spec(name: str, num_ranks: Optional[int] = None, **kwargs) -> AppSpec:
         raise ValueError(f"unknown application {name!r}")
     ranks = num_ranks if num_ranks is not None else BENCH_RANKS[name]
     return AppSpec(name, ranks, kwargs)
+
+
+def synthetic_spec(
+    pattern: str, num_ranks: Optional[int] = None, start_time: float = 0.0, **kwargs
+) -> AppSpec:
+    """Benchmark-scale spec for one synthetic traffic pattern.
+
+    ``kwargs`` carry the pattern knobs (``hot_fraction``, ``duty_cycle``,
+    ``burst_length``, ``shift``, …); rank counts default to
+    :data:`SYNTHETIC_RANKS`.
+    """
+    from repro.workloads import resolve_application
+
+    pattern = resolve_application(pattern)
+    if pattern not in SYNTHETIC_RANKS:
+        raise ValueError(
+            f"{pattern!r} is not a synthetic pattern; choose from {sorted(SYNTHETIC_RANKS)}"
+        )
+    ranks = num_ranks if num_ranks is not None else SYNTHETIC_RANKS[pattern]
+    return AppSpec(pattern, ranks, kwargs, start_time)
 
 
 def table1_specs(scale: float = 1.0) -> List[AppSpec]:

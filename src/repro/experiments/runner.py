@@ -93,15 +93,10 @@ def _execute(
     """
     if not specs:
         raise ValueError("at least one application spec is required")
-    # Key jobs by canonical application name regardless of how this run was
-    # entered (Scenario already canonicalizes; the Placement-instance path
-    # must match so RunResult keys never depend on the placement type).
-    specs = [
-        spec
-        if resolve_application(spec.name) == spec.name
-        else AppSpec(resolve_application(spec.name), spec.num_ranks, dict(spec.kwargs))
-        for spec in specs
-    ]
+    # AppSpec canonicalizes its application name at construction, so jobs are
+    # keyed identically whether this run was entered through a Scenario or
+    # the Placement-instance path.
+    specs = list(specs)
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate job names in {names}; give co-runs distinct names")
@@ -119,7 +114,9 @@ def _execute(
     for spec in specs:
         application = create_application(spec.name, spec.num_ranks, **spec.kwargs)
         nodes = allocator.allocate(spec.name, spec.num_ranks, policy, placement_rng)
-        engine.add_job(spec.name, nodes, application=application)
+        engine.add_job(
+            spec.name, nodes, application=application, start_time=spec.start_time
+        )
         applications[spec.name] = application
         placements[spec.name] = nodes
 

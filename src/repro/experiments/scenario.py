@@ -39,10 +39,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 from repro.config import RoutingConfig, SimulationConfig, SystemConfig
 from repro.experiments.configs import (
     BENCH_RANKS,
+    SYNTHETIC_RANKS,
     bench_config,
     bench_spec,
     mixed_workload_specs,
     pairwise_specs,
+    synthetic_spec,
 )
 from repro.experiments.configs import AppSpec
 from repro.placement import PLACEMENTS
@@ -61,6 +63,7 @@ __all__ = [
     "register_scenario",
     "scenario_hash",
     "scenario_names",
+    "synthetic_scenario",
     "table1_scenario",
 ]
 
@@ -77,7 +80,7 @@ _SIM_KNOBS: Tuple[str, ...] = tuple(
 )
 
 _TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
-_JOB_KEYS = frozenset({"name", "num_ranks", "kwargs"})
+_JOB_KEYS = frozenset({"name", "num_ranks", "kwargs", "start_time"})
 
 
 def _strict_dataclass(cls, data: dict, where: str):
@@ -92,7 +95,13 @@ def _strict_dataclass(cls, data: dict, where: str):
 
 
 def _job_to_dict(spec: AppSpec) -> dict:
-    return {"name": spec.name, "num_ranks": spec.num_ranks, "kwargs": dict(spec.kwargs)}
+    doc = {"name": spec.name, "num_ranks": spec.num_ranks, "kwargs": dict(spec.kwargs)}
+    # start_time is serialized only when staggered: zero-start jobs keep the
+    # historical three-key form, so every pre-existing scenario hash (and
+    # with it every sweep-cache and result-store key) is preserved exactly.
+    if spec.start_time != 0.0:
+        doc["start_time"] = spec.start_time
+    return doc
 
 
 def _job_from_dict(data: dict, index: int) -> AppSpec:
@@ -108,7 +117,11 @@ def _job_from_dict(data: dict, index: int) -> AppSpec:
     kwargs = data.get("kwargs", {})
     if not isinstance(kwargs, dict):
         raise ValueError(f"{where}.kwargs must be an object")
-    return AppSpec(data["name"], data["num_ranks"], dict(kwargs))
+    try:
+        return AppSpec(data["name"], data["num_ranks"], dict(kwargs), data.get("start_time", 0.0))
+    except ValueError as exc:
+        # AppSpec validates itself; add which job of the document was bad.
+        raise ValueError(f"{where}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -136,16 +149,12 @@ class Scenario:
         jobs = tuple(self.jobs)
         if not jobs:
             raise ValueError("at least one application spec is required")
-        canonical: List[AppSpec] = []
-        for spec in jobs:
-            app = resolve_application(spec.name)
-            if spec.num_ranks < 1:
-                raise ValueError(f"job {spec.name!r} needs a positive rank count")
-            canonical.append(spec if app == spec.name else AppSpec(app, spec.num_ranks, dict(spec.kwargs)))
-        names = [spec.name for spec in canonical]
+        # AppSpec validates and canonicalizes itself at construction (name,
+        # rank count, kwargs, start_time); only cross-job rules live here.
+        names = [spec.name for spec in jobs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate job names in {names}; give co-runs distinct names")
-        object.__setattr__(self, "jobs", tuple(canonical))
+        object.__setattr__(self, "jobs", jobs)
         if not isinstance(self.placement, str):
             raise TypeError("placement must be a policy name; pass Placement instances to run_workloads")
         placement = self.placement.strip().lower()
@@ -226,11 +235,18 @@ class Scenario:
         seed: Optional[int] = None,
         system: Optional[SystemConfig] = None,
         scale: Optional[float] = None,
+        start_time: Optional[float] = None,
+        job_kwargs: Optional[Dict[str, dict]] = None,
     ) -> "Scenario":
         """Copy of this scenario with selected axes replaced (used by grids).
 
         ``scale`` overrides the ``scale`` kwarg of **every** job (the
-        message-volume knob all bundled workloads accept).
+        message-volume knob all bundled workloads accept).  ``start_time``
+        sets the arrival time of the scenario's **first** job — the target of
+        a pairwise co-run — so staggered-arrival studies delay the target
+        against an already-running background.  ``job_kwargs`` merges
+        per-job constructor overrides, keyed by (case-insensitive) job name:
+        ``{"hotspot": {"hot_fraction": 0.5}}``.
         """
         config = self.config
         if routing is not None:
@@ -239,16 +255,32 @@ class Scenario:
             config = config.with_seed(seed)
         if system is not None:
             config = config.with_system(system)
-        jobs = self.jobs
+        jobs = list(self.jobs)
         if scale is not None:
-            jobs = tuple(
-                AppSpec(spec.name, spec.num_ranks, {**spec.kwargs, "scale": scale})
-                for spec in self.jobs
-            )
+            jobs = [
+                AppSpec(spec.name, spec.num_ranks, {**spec.kwargs, "scale": scale}, spec.start_time)
+                for spec in jobs
+            ]
+        if job_kwargs is not None:
+            by_name = {spec.name: index for index, spec in enumerate(jobs)}
+            for job_name, overrides in job_kwargs.items():
+                canonical = resolve_application(job_name)
+                if canonical not in by_name:
+                    raise ValueError(
+                        f"no job named {job_name!r} in scenario {self.name!r}; "
+                        f"jobs are {sorted(by_name)}"
+                    )
+                index = by_name[canonical]
+                spec = jobs[index]
+                jobs[index] = AppSpec(
+                    spec.name, spec.num_ranks, {**spec.kwargs, **overrides}, spec.start_time
+                )
+        if start_time is not None:
+            jobs[0] = jobs[0].with_start_time(start_time)
         return replace(
             self,
             name=name if name is not None else self.name,
-            jobs=jobs,
+            jobs=tuple(jobs),
             config=config,
             placement=placement if placement is not None else self.placement,
         )
@@ -279,19 +311,35 @@ def scenario_hash(scenario: Scenario) -> str:
 
 
 # -------------------------------------------------------------------- grids
+def _knob_label(job_kwargs: Dict[str, dict]) -> str:
+    """Deterministic grid-name part for one job_kwargs cell."""
+    parts = []
+    for job in sorted(job_kwargs):
+        knobs = ",".join(f"{k}={job_kwargs[job][k]:g}" if isinstance(job_kwargs[job][k], (int, float))
+                         else f"{k}={job_kwargs[job][k]}" for k in sorted(job_kwargs[job]))
+        parts.append(f"{job}({knobs})")
+    return "+".join(parts)
+
+
 def expand_grid(
     base: Union[Scenario, Sequence[Scenario]],
     routings: Optional[Sequence[str]] = None,
     placements: Optional[Sequence[str]] = None,
     seeds: Optional[Sequence[int]] = None,
+    start_times: Optional[Sequence[float]] = None,
+    job_knobs: Optional[Sequence[Dict[str, dict]]] = None,
 ) -> List[Scenario]:
     """Expand scenario template(s) along declared axes into a grid.
 
     Every base scenario — standalone, pairwise or mixed alike — is copied
-    once per cell of ``routings × placements × seeds`` (an omitted axis keeps
-    the base value).  Expanded names are deterministic
-    (``base[par,contiguous,seed=2]``), so re-running the same grid hits the
-    same sweep-cache entries.
+    once per cell of ``routings × placements × seeds × start_times ×
+    job_knobs`` (an omitted axis keeps the base value).  ``start_times``
+    staggers the first job's arrival (see
+    :meth:`Scenario.with_updates`); ``job_knobs`` cells are per-job kwargs
+    overrides such as ``{"hotspot": {"hot_fraction": 0.5}}``, letting one
+    grid sweep a synthetic pattern's knobs.  Expanded names are
+    deterministic (``base[par,contiguous,seed=2,t0=5e+06]``), so re-running
+    the same grid hits the same sweep-cache entries.
     """
     bases = [base] if isinstance(base, Scenario) else list(base)
     if not bases:
@@ -299,12 +347,20 @@ def expand_grid(
     routing_axis: List[Optional[str]] = list(routings) if routings else [None]
     placement_axis: List[Optional[str]] = list(placements) if placements else [None]
     seed_axis: List[Optional[int]] = list(seeds) if seeds else [None]
+    start_axis: List[Optional[float]] = list(start_times) if start_times else [None]
+    knob_axis: List[Optional[Dict[str, dict]]] = list(job_knobs) if job_knobs else [None]
 
     grid: List[Scenario] = []
-    for template, routing, placement, seed in itertools.product(
-        bases, routing_axis, placement_axis, seed_axis
+    for template, routing, placement, seed, start, knobs in itertools.product(
+        bases, routing_axis, placement_axis, seed_axis, start_axis, knob_axis
     ):
-        expanded = template.with_updates(routing=routing, placement=placement, seed=seed)
+        expanded = template.with_updates(
+            routing=routing,
+            placement=placement,
+            seed=seed,
+            start_time=start,
+            job_kwargs=knobs,
+        )
         parts = []
         if routing is not None:
             parts.append(expanded.config.routing.algorithm)
@@ -312,6 +368,12 @@ def expand_grid(
             parts.append(expanded.placement)
         if seed is not None:
             parts.append(f"seed={seed}")
+        if start:  # an explicit 0.0 IS the base experiment: same name, and
+            # (since zero start times are not serialized) the same cache key,
+            # so a previously stored unstaggered run still serves that cell.
+            parts.append(f"t0={start:g}")
+        if knobs is not None:
+            parts.append(_knob_label(knobs))
         name = f"{template.name}[{','.join(parts)}]" if parts else template.name
         grid.append(expanded.with_updates(name=name))
     return grid
@@ -403,6 +465,29 @@ def mixed_solo_scenarios(
     ]
 
 
+def synthetic_scenario(
+    pattern: str,
+    routing: str = "par",
+    seed: int = 1,
+    scale: float = 1.0,
+    num_ranks: Optional[int] = None,
+    config: Optional[SimulationConfig] = None,
+    **knobs,
+) -> Scenario:
+    """Standalone scenario for one synthetic traffic pattern.
+
+    ``knobs`` are the pattern's constructor knobs (``hot_fraction``,
+    ``duty_cycle``, ``burst_length``, ``shift``, …); they are validated at
+    description time by :class:`~repro.experiments.configs.AppSpec`.
+    """
+    spec = synthetic_spec(pattern, num_ranks=num_ranks, scale=scale, **knobs)
+    return Scenario(
+        name=f"synthetic/{spec.name}",
+        jobs=(spec,),
+        config=config if config is not None else bench_config(routing, seed=seed),
+    )
+
+
 #: Registry of named scenarios: name -> zero-argument factory.  Factories
 #: (rather than instances) keep import cheap and let presets track registry
 #: defaults; ``get_scenario`` builds a fresh Scenario per call.
@@ -449,9 +534,19 @@ def _register_builtin_library() -> None:
         register_scenario(
             f"pairwise/{target}+{background}", partial(pairwise_scenario, target, background)
         )
+    # The synthetic traffic-pattern catalog: each pattern standalone, and as
+    # a background stressing a UR target (the balanced-background workload),
+    # e.g. `dragonfly-sim run pairwise/UR+hotspot`.
+    for pattern in SYNTHETIC_RANKS:
+        register_scenario(f"synthetic/{pattern}", partial(synthetic_scenario, pattern))
+        register_scenario(
+            f"pairwise/UR+{pattern}", partial(pairwise_scenario, "UR", pattern)
+        )
     # Each preset target's standalone baseline (the other half of the Fig. 4
     # comparison the result-store reports read).
-    for target in dict.fromkeys(target for target, _ in pairs):
+    for target in dict.fromkeys(
+        [target for target, _ in pairs] + ["UR"]
+    ):
         register_scenario(f"pairwise/{target}", partial(pairwise_scenario, target, None))
     register_scenario("mixed/table2", mixed_scenario)
     # The mixed workload's per-application baselines (the other half of the

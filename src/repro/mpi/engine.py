@@ -20,6 +20,7 @@ only then move the payload (rendezvous).
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.events import EventKind
@@ -66,15 +67,35 @@ class WaitOp:
 
 
 class MpiJob:
-    """One application instance: a set of ranks mapped onto nodes."""
+    """One application instance: a set of ranks mapped onto nodes.
 
-    def __init__(self, job_id: int, name: str, nodes: Sequence[int], application=None):
+    ``start_time`` is the simulated time (ns) at which the job's rank
+    programs begin executing; nodes are reserved from time zero (static
+    allocation), the *programs* arrive late — modelling a job submitted
+    while other applications are already at steady state.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        name: str,
+        nodes: Sequence[int],
+        application=None,
+        start_time: float = 0.0,
+    ):
         if len(set(nodes)) != len(nodes):
             raise ValueError("a job cannot place two ranks on the same node")
+        # isfinite also rejects NaN, which a plain `< 0` check would let
+        # through to silently start the job at t=0.
+        if not (math.isfinite(start_time) and start_time >= 0):
+            raise ValueError(
+                f"a job's start_time must be finite and non-negative, got {start_time!r}"
+            )
         self.job_id = job_id
         self.name = name
         self.nodes: List[int] = list(nodes)
         self.application = application
+        self.start_time = float(start_time)
         self.record = ApplicationRecord(app_id=job_id, name=name, num_ranks=len(nodes))
 
     @property
@@ -213,6 +234,7 @@ class MpiEngine:
         self.sim = network.sim
         self.config = network.config
         self.jobs: List[MpiJob] = []
+        self._started = False
         self._ranks: Dict[tuple, _RankState] = {}
         self._mailboxes: Dict[tuple, MailBox] = {}
         self._node_to_rank: Dict[tuple, int] = {}
@@ -221,15 +243,27 @@ class MpiEngine:
         network.on_message_delivered = self._on_message_delivered
 
     # ------------------------------------------------------------ job setup
-    def add_job(self, name: str, nodes: Sequence[int], application=None) -> MpiJob:
-        """Register a job occupying ``nodes`` (rank i runs on nodes[i])."""
+    def add_job(
+        self,
+        name: str,
+        nodes: Sequence[int],
+        application=None,
+        start_time: float = 0.0,
+    ) -> MpiJob:
+        """Register a job occupying ``nodes`` (rank i runs on nodes[i]).
+
+        ``start_time`` delays the job's rank programs until that simulated
+        time; its nodes are reserved (and its mailboxes exist) from the
+        beginning, so a staggered job can only ever *receive* after it
+        arrives.
+        """
         for node in nodes:
             if not 0 <= node < self.network.num_nodes:
                 raise ValueError(f"node {node} does not exist in this system")
             key = ("node", node)
             if key in self._node_to_rank:
                 raise ValueError(f"node {node} is already occupied by another job")
-        job = MpiJob(len(self.jobs), name, nodes, application=application)
+        job = MpiJob(len(self.jobs), name, nodes, application=application, start_time=start_time)
         self.jobs.append(job)
         for rank, node in enumerate(nodes):
             self._node_to_rank[("node", node)] = rank
@@ -238,29 +272,54 @@ class MpiEngine:
         return job
 
     def start(self) -> None:
-        """Instantiate and start every rank program of every job at time 0."""
+        """Start (or schedule) every job's rank programs at its arrival time.
+
+        Jobs with ``start_time == 0`` start immediately; staggered jobs are
+        injected by a calendar event at their arrival time, so the engine's
+        clock drives arrivals exactly like any other simulated event.
+        """
+        self._started = True
         for job in self.jobs:
             if job.application is None:
                 raise RuntimeError(f"job {job.name} has no application attached")
-            for rank in range(job.num_ranks):
-                context = RankContext(self, job, rank)
-                generator = job.application.program(context)
-                state = _RankState(job, rank, context, generator)
-                self._ranks[(job.job_id, rank)] = state
-                job.record.start_time[rank] = self.sim.now
-                self._advance(state, None)
+            if job.start_time > self.sim.now:
+                self.sim.schedule_at(
+                    job.start_time, self._start_job, job, kind=EventKind.JOB_START
+                )
+            else:
+                self._start_job(job)
+
+    def _start_job(self, job: MpiJob) -> None:
+        """Instantiate and advance every rank program of one job, now."""
+        for rank in range(job.num_ranks):
+            context = RankContext(self, job, rank)
+            generator = job.application.program(context)
+            state = _RankState(job, rank, context, generator)
+            self._ranks[(job.job_id, rank)] = state
+            job.record.start_time[rank] = self.sim.now
+            self._advance(state, None)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Start all jobs (if not started) and run the simulation."""
-        if not self._ranks:
+        if not self._started:
             self.start()
         end = self.sim.run(until=until, max_events=max_events)
         return end
 
     @property
     def all_finished(self) -> bool:
-        """Whether every rank of every job has completed its program."""
-        return bool(self._ranks) and all(state.finished for state in self._ranks.values())
+        """Whether every rank of every job has started and completed its program.
+
+        Ranks of a staggered job do not exist until its arrival event fires,
+        so a run cut short before an arrival correctly reads as unfinished.
+        """
+        total_ranks = sum(job.num_ranks for job in self.jobs)
+        return (
+            self._started
+            and total_ranks > 0
+            and len(self._ranks) == total_ranks
+            and all(state.finished for state in self._ranks.values())
+        )
 
     # -------------------------------------------------------- program driver
     def _advance(self, state: _RankState, value) -> None:

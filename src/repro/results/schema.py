@@ -35,7 +35,15 @@ Per-application keys (one per job ``<app>``):
 ``total_msg_bytes/<app>``       payload bytes the application sent
 ``injection_rate_gbps/<app>``   measured message injection rate (Table I)
 ``peak_ingress_bytes/<app>``    analytic peak ingress volume (Table I)
+``start_time_ns/<app>``         simulated time the job's ranks started
+``finish_time_ns/<app>``        simulated time the job's last rank finished
 ==============================  ===============================================
+
+Applications that expose ``pattern_metrics()`` — the synthetic traffic
+family of :mod:`repro.workloads.synthetic` — additionally contribute one
+numeric per-app row per pattern knob (``hot_fraction/hotspot``,
+``duty_cycle/bursty``, ``send_iterations/<pattern>`` …), so stored sweeps
+over pattern knobs stay self-describing.
 
 ``packet_latency_mean_ns``/``packet_latency_p99_ns`` are added when the run
 recorded per-packet latencies (``record_packets`` and at least one packet).
@@ -100,6 +108,14 @@ def flatten_run(result) -> Dict[str, Number]:
         metrics[join_metric("total_msg_bytes", name)] = int(record.total_bytes_sent)
         metrics[join_metric("injection_rate_gbps", name)] = injection_rate_gbps(record)
         metrics[join_metric("peak_ingress_bytes", name)] = int(application.peak_ingress_bytes())
+        if record.start_time:
+            metrics[join_metric("start_time_ns", name)] = float(min(record.start_time.values()))
+        if record.finish_time:
+            metrics[join_metric("finish_time_ns", name)] = float(max(record.finish_time.values()))
+        pattern_metrics = getattr(application, "pattern_metrics", None)
+        if callable(pattern_metrics):
+            for knob, value in pattern_metrics().items():
+                metrics[join_metric(knob, name)] = float(value)
     # Aggregate column every row shares (equals the job's own value for
     # single-job scenarios, matching the pre-scenario sweep layout).
     metrics["mean_comm_time_ns"] = float(sum(comm_times) / len(comm_times))

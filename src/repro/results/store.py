@@ -76,8 +76,12 @@ def ensure_comparable(runs: Sequence["StoredResult"], what: str) -> None:
 
     Companion to :func:`ensure_uniform` for comparisons *between* families
     (a standalone baseline vs. its co-run): their job sets differ by
-    design, but scale, placement, system and simulation knobs must match or
-    the derived slowdown compares two different experiments.
+    design, but scale, placement, system and simulation knobs must match —
+    and any job *present in every run* (the comparison's target) must keep
+    the same rank count and kwargs across families — or the derived
+    slowdown compares two different experiments.  (Shared-job ``start_time``
+    may differ: a staggered co-run is still measured against the
+    simultaneous baseline.)
     """
     if len({_comparable_key(run) for run in runs}) > 1:
         raise ValueError(
@@ -86,6 +90,27 @@ def ensure_comparable(runs: Sequence["StoredResult"], what: str) -> None:
             "narrow the selection (e.g. --scale/--placement/--seed) so one "
             "configuration remains"
         )
+    if not runs:
+        return
+    shared = set.intersection(*(set(run.job_ranks()) for run in runs))
+    for name in sorted(shared):
+        variants = {
+            (
+                run.job_ranks()[name],
+                json.dumps(
+                    next(j for j in run.scenario["jobs"] if j["name"] == name).get("kwargs", {}),
+                    sort_keys=True,
+                ),
+            )
+            for run in runs
+        }
+        if len(variants) > 1:
+            raise ValueError(
+                f"the stored {what} runs disagree on job {name!r}'s rank count "
+                "or kwargs, so their comparison would mix experiments; narrow "
+                "the selection (e.g. --knob/--scale/--seed) so one "
+                "configuration remains"
+            )
 
 
 def ensure_uniform(runs: Sequence["StoredResult"], what: str) -> None:
@@ -105,7 +130,11 @@ def ensure_uniform(runs: Sequence["StoredResult"], what: str) -> None:
         shapes.add(
             (
                 tuple(sorted(run.job_ranks().items())),
-                run.job_scales(),
+                # Full per-job kwargs (not just scale): runs differing only
+                # in a pattern knob (hot_fraction, duty_cycle, …) describe
+                # different experiments and must never be averaged.
+                run.job_kwargs_key(),
+                run.job_start_times(),
                 run.routing,
                 run.placement,
                 json.dumps(run.scenario.get("system"), sort_keys=True),
@@ -115,9 +144,9 @@ def ensure_uniform(runs: Sequence["StoredResult"], what: str) -> None:
     if len(shapes) > 1:
         raise ValueError(
             f"the {len(runs)} stored {what} runs span {len(shapes)} different "
-            "job-size/scale/routing/placement/system configurations; narrow "
-            "the selection (e.g. --routing/--placement/--scale/--seed) so "
-            "one configuration remains"
+            "job-size/kwargs/arrival/routing/placement/system configurations; "
+            "narrow the selection (e.g. --routing/--placement/--scale/--seed/"
+            "--start-time/--knob) so one configuration remains"
         )
 
 
@@ -216,6 +245,19 @@ class StoredResult:
             float(job.get("kwargs", {}).get("scale", 1.0)) for job in self.scenario["jobs"]
         )
 
+    def job_start_times(self) -> Tuple[float, ...]:
+        """Per-job arrival times in ns (0.0 when not staggered)."""
+        return tuple(
+            float(job.get("start_time", 0.0)) for job in self.scenario["jobs"]
+        )
+
+    def job_kwargs_key(self) -> Tuple[str, ...]:
+        """Canonical per-job kwargs (hashable), the knob-identity of the run."""
+        return tuple(
+            json.dumps(job.get("kwargs", {}), sort_keys=True)
+            for job in self.scenario["jobs"]
+        )
+
     def job_ranks(self) -> Dict[str, int]:
         """Job name -> rank count, from the stored scenario description."""
         return {job["name"]: int(job["num_ranks"]) for job in self.scenario["jobs"]}
@@ -223,6 +265,38 @@ class StoredResult:
 
 def _canonical(doc: dict) -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _knobs_match(run: StoredResult, knobs: Dict[str, Dict[str, object]]) -> bool:
+    """Whether ``run`` carries every requested per-job kwarg value.
+
+    A job that omitted a knob counts as carrying the knob's constructor
+    default (so ``--knob hotspot:hot_fraction=0.25`` matches the preset
+    runs, which never spelled the default out).  Numeric values compare as
+    floats (``0.9`` matches a stored ``0.9`` int or float alike);
+    everything else compares by equality.
+    """
+    import inspect
+
+    from repro.workloads import application_kwarg_default
+
+    stored = {job["name"]: job.get("kwargs", {}) for job in run.scenario["jobs"]}
+    for job, wanted in knobs.items():
+        kwargs = stored.get(job)
+        if kwargs is None:
+            return False
+        for key, value in wanted.items():
+            have = kwargs.get(key, inspect.Parameter.empty)
+            if have is inspect.Parameter.empty:
+                have = application_kwarg_default(job, key)
+            if have is inspect.Parameter.empty:
+                return False
+            if isinstance(value, (int, float)) and isinstance(have, (int, float)):
+                if float(have) != float(value):
+                    return False
+            elif have != value:
+                return False
+    return True
 
 
 class ResultStore:
@@ -409,11 +483,19 @@ class ResultStore:
         seed: Optional[int] = None,
         application: Optional[str] = None,
         scale: Optional[float] = None,
+        start_time: Optional[float] = None,
+        knobs: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> List[StoredResult]:
         """Stored runs matching every given filter (None = wildcard).
 
         ``application`` selects runs that include the named job;
-        ``scale`` selects runs whose every job has that message-volume scale.
+        ``scale`` selects runs whose every job has that message-volume scale;
+        ``start_time`` selects runs whose *latest* job arrival equals it
+        (``0.0`` keeps only simultaneous-arrival runs);
+        ``knobs`` — ``{job: {kwarg: value}}`` — selects runs whose stored
+        job carries exactly those kwarg values (``{"hotspot":
+        {"hot_fraction": 0.9}}``), which is how one cell of a
+        ``job_knobs`` sweep is singled out.
         """
         query = "SELECT * FROM runs"
         # Rows written before a CACHE_VERSION bump are orphaned, not served:
@@ -446,6 +528,10 @@ class ResultStore:
             results = [r for r in results if application in r.jobs]
         if scale is not None:
             results = [r for r in results if all(s == scale for s in r.job_scales())]
+        if start_time is not None:
+            results = [r for r in results if max(r.job_start_times()) == start_time]
+        if knobs:
+            results = [r for r in results if _knobs_match(r, knobs)]
         return results
 
     def runs_named(self, base: str, **filters) -> List[StoredResult]:
@@ -473,6 +559,7 @@ class ResultStore:
         for run in self.runs(**filters):
             scales = set(run.job_scales())
             scale = scales.pop() if len(scales) == 1 else None
+            start_times = run.job_start_times()
             for key, value in sorted(run.metrics.items()):
                 key_metric, app = split_metric(key)
                 if metric is not None and key_metric != metric:
@@ -491,6 +578,14 @@ class ResultStore:
                         "placement": run.placement,
                         "seed": run.seed,
                         "scale": scale,
+                        # Per-job arrival times: (0.0, ...) unless staggered.
+                        # A grouping axis so staggered and simultaneous runs
+                        # of one family never blend into one statistic.
+                        "start_times": start_times,
+                        # Canonical per-job kwargs: the knob identity, so
+                        # e.g. hot_fraction=0.1 and 0.9 sweeps of one pair
+                        # aggregate separately.
+                        "job_kwargs": run.job_kwargs_key(),
                         "app": app,
                         "metric": key_metric,
                         "value": value,
@@ -501,7 +596,10 @@ class ResultStore:
     def aggregate(
         self,
         metric: str,
-        group_by: Sequence[str] = ("family", "jobs", "routing", "placement", "scale", "app"),
+        group_by: Sequence[str] = (
+            "family", "jobs", "routing", "placement", "scale", "start_times",
+            "job_kwargs", "app",
+        ),
         **filters,
     ) -> List[dict]:
         """Aggregate one metric across seeds (or any axis left out of ``group_by``).
@@ -509,10 +607,11 @@ class ResultStore:
         Returns one row per distinct ``group_by`` tuple with ``count``,
         ``mean``, ``std``, ``min``, ``max`` and ``p99`` over the matched
         values — the cross-seed statistics the paper's tables report.  The
-        scenario ``family`` (name minus grid suffix) and the message-volume
-        ``scale`` are grouping axes by default, so different experiments
-        that happen to share a jobs string (``table1/FFT3D`` at 24 ranks vs
-        ``pairwise/FFT3D`` at 32) — or runs at different volumes — are
+        scenario ``family`` (name minus grid suffix), the message-volume
+        ``scale`` and the per-job arrival times ``start_times`` are grouping
+        axes by default, so different experiments that happen to share a
+        jobs string (``table1/FFT3D`` at 24 ranks vs ``pairwise/FFT3D`` at
+        32) — or runs at different volumes or staggered arrivals — are
         never silently blended into one statistic.
         """
         groups: Dict[tuple, List[float]] = {}

@@ -16,6 +16,12 @@ CosmoFlow       allreduce      data-parallel DL with long compute intervals
 DL              allreduce      heavier data-parallel DL (higher injection rate)
 LULESH          hybrid         26-point 3-D stencil + sweep + tiny allreduce
 ==============  =============  ==========================================
+
+A second, lowercase-named family of *synthetic* traffic patterns
+(``permutation``, ``shift``, ``bit-complement``, ``transpose``, ``hotspot``,
+``bursty``) lives in :mod:`repro.workloads.synthetic`; they are registered
+alongside the applications and compose with placement, routing and every
+analysis layer.
 """
 
 from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
@@ -28,20 +34,46 @@ from repro.workloads.stencil5d import Stencil5D
 from repro.workloads.cosmoflow import CosmoFlow
 from repro.workloads.dl import DL
 from repro.workloads.lulesh import LULESH
-from repro.workloads.registry import APPLICATIONS, create_application, resolve_application
+from repro.workloads.synthetic import (
+    BitComplement,
+    Bursty,
+    Hotspot,
+    Permutation,
+    Shift,
+    SyntheticPattern,
+    Transpose,
+)
+from repro.workloads.registry import (
+    APPLICATIONS,
+    SYNTHETIC_PATTERNS,
+    application_kwarg_default,
+    application_kwargs,
+    create_application,
+    resolve_application,
+)
 
 __all__ = [
     "APPLICATIONS",
     "Application",
+    "BitComplement",
+    "Bursty",
     "CosmoFlow",
     "DL",
     "FFT3D",
     "Halo3D",
+    "Hotspot",
     "LQCD",
     "LU",
     "LULESH",
+    "Permutation",
+    "SYNTHETIC_PATTERNS",
+    "Shift",
     "Stencil5D",
+    "SyntheticPattern",
+    "Transpose",
     "UniformRandom",
+    "application_kwarg_default",
+    "application_kwargs",
     "balanced_grid",
     "create_application",
     "grid_coords",

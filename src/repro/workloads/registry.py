@@ -2,12 +2,16 @@
 
 The registry is the single place experiment configurations and the CLI use to
 instantiate workloads by name, so adding a new application only requires
-registering it here.
+registering it here.  Two families are registered: the paper's nine proxy
+applications (capitalized names, Table I) and the synthetic traffic patterns
+(lowercase names — see :mod:`repro.workloads.synthetic`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+import inspect
+from functools import lru_cache
+from typing import Dict, FrozenSet, Optional, Type
 
 from repro.workloads.base import Application
 from repro.workloads.cosmoflow import CosmoFlow
@@ -18,9 +22,34 @@ from repro.workloads.lqcd import LQCD
 from repro.workloads.lu import LU
 from repro.workloads.lulesh import LULESH
 from repro.workloads.stencil5d import Stencil5D
+from repro.workloads.synthetic import (
+    BitComplement,
+    Bursty,
+    Hotspot,
+    Permutation,
+    Shift,
+    Transpose,
+)
 from repro.workloads.uniform_random import UniformRandom
 
-__all__ = ["APPLICATIONS", "create_application", "resolve_application"]
+__all__ = [
+    "APPLICATIONS",
+    "SYNTHETIC_PATTERNS",
+    "application_kwarg_default",
+    "application_kwargs",
+    "create_application",
+    "resolve_application",
+]
+
+#: Canonical names of the synthetic traffic-pattern family.
+SYNTHETIC_PATTERNS: Dict[str, Type[Application]] = {
+    "permutation": Permutation,
+    "shift": Shift,
+    "bit-complement": BitComplement,
+    "transpose": Transpose,
+    "hotspot": Hotspot,
+    "bursty": Bursty,
+}
 
 #: Canonical application name -> class.
 APPLICATIONS: Dict[str, Type[Application]] = {
@@ -33,6 +62,7 @@ APPLICATIONS: Dict[str, Type[Application]] = {
     "CosmoFlow": CosmoFlow,
     "DL": DL,
     "LULESH": LULESH,
+    **SYNTHETIC_PATTERNS,
 }
 
 _LOWER = {name.lower(): name for name in APPLICATIONS}
@@ -51,6 +81,71 @@ def resolve_application(name: str) -> str:
     if canonical is None:
         raise ValueError(f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}")
     return canonical
+
+
+@lru_cache(maxsize=None)
+def application_kwargs(name: str) -> Optional[FrozenSet[str]]:
+    """Keyword arguments the application ``name`` accepts at construction.
+
+    Introspected once per class from the constructor signature (``self`` and
+    ``num_ranks`` excluded; ``**kwargs`` forwarded to a base class is
+    followed through the MRO).  Returns ``None`` when the signature cannot
+    be pinned down, in which case callers should skip validation.  This is
+    what lets :class:`~repro.experiments.configs.AppSpec` reject a
+    misspelled knob when the job is *described* instead of deep inside a
+    sweep worker.
+    """
+    accepted: set = set()
+    for cls in APPLICATIONS[resolve_application(name)].__mro__:
+        init = cls.__dict__.get("__init__")
+        if init is None:
+            continue
+        try:
+            parameters = inspect.signature(init).parameters.values()
+        except (TypeError, ValueError):  # pragma: no cover - C-level __init__
+            return None
+        has_var_keyword = False
+        for parameter in parameters:
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                has_var_keyword = True
+            elif parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ) and parameter.name not in ("self", "num_ranks"):
+                accepted.add(parameter.name)
+        if not has_var_keyword:
+            # No **kwargs: this constructor rejects anything beyond its own
+            # parameters, so base-class signatures further up the MRO are
+            # unreachable and must not widen the accepted set.
+            break
+    return frozenset(accepted)
+
+
+@lru_cache(maxsize=None)
+def application_kwarg_default(name: str, kwarg: str):
+    """Constructor default of ``kwarg`` for application ``name``.
+
+    Follows ``**kwargs`` through the MRO like :func:`application_kwargs`.
+    Returns ``inspect.Parameter.empty`` when the application has no such
+    kwarg (or it has no default).  Lets the result store treat a job that
+    omitted a knob as carrying the knob's default value.
+    """
+    for cls in APPLICATIONS[resolve_application(name)].__mro__:
+        init = cls.__dict__.get("__init__")
+        if init is None:
+            continue
+        try:
+            parameters = inspect.signature(init).parameters
+        except (TypeError, ValueError):  # pragma: no cover - C-level __init__
+            return inspect.Parameter.empty
+        parameter = parameters.get(kwarg)
+        if parameter is not None:
+            return parameter.default
+        if not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        ):
+            break
+    return inspect.Parameter.empty
 
 
 def create_application(name: str, num_ranks: int, **kwargs) -> Application:

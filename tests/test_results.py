@@ -153,6 +153,50 @@ def test_store_aggregate_across_seeds():
     assert row["app"] == "UR" and row["routing"] == "par"
 
 
+def test_aggregate_single_seed_has_zero_std():
+    store = ResultStore()
+    store.record(_tiny_scenario(), {"comm_time_ns/UR": 12.5})
+    (row,) = store.aggregate("comm_time_ns")
+    assert row["count"] == 1
+    assert row["std"] == 0.0
+    assert row["mean"] == row["min"] == row["max"] == row["p99"] == 12.5
+
+
+def test_aggregate_empty_selection_returns_no_rows():
+    store = ResultStore()
+    assert store.aggregate("comm_time_ns") == []
+    store.record(_tiny_scenario(), {"comm_time_ns/UR": 1.0})
+    # A metric nothing recorded, and filters matching nothing, both yield [].
+    assert store.aggregate("no_such_metric") == []
+    assert store.aggregate("comm_time_ns", routing="minimal") == []
+
+
+def test_aggregate_never_blends_mixed_scales_or_staggers():
+    """Scale and arrival-stagger are grouping axes: one statistic per config."""
+    store = ResultStore()
+    store.record(_tiny_scenario(seed=1, scale=0.2), {"comm_time_ns/UR": 10.0})
+    store.record(_tiny_scenario(seed=2, scale=0.2), {"comm_time_ns/UR": 20.0})
+    store.record(_tiny_scenario(seed=1, scale=0.4), {"comm_time_ns/UR": 99.0})
+    rows = store.aggregate("comm_time_ns")
+    assert [(row["scale"], row["count"], row["mean"]) for row in rows] == [
+        (0.2, 2, 15.0),
+        (0.4, 1, 99.0),
+    ]
+    # A staggered copy of the same family lands in its own group too.
+    staggered = _tiny_scenario(seed=1).with_updates(start_time=30_000.0)
+    store.record(staggered, {"comm_time_ns/UR": 77.0})
+    rows = store.aggregate("comm_time_ns", scale=0.2)
+    assert [(row["start_times"], row["count"]) for row in rows] == [
+        ((0.0,), 2),
+        ((30_000.0,), 1),
+    ]
+    # ...and ensure_uniform refuses to treat the blend as one experiment.
+    from repro.results.store import ensure_uniform
+
+    with pytest.raises(ValueError, match="arrival"):
+        ensure_uniform(store.runs_named("test/UR", scale=0.2), "test/UR")
+
+
 def test_mean_metric_reports_missing_metrics():
     store = ResultStore()
     store.record(_tiny_scenario(), {"makespan_ns": 1.0})
@@ -201,6 +245,31 @@ def test_run_sweep_with_store_hits_every_point_when_warm(tmp_path):
     assert [r.cached for r in warm] == [True, True]
     for before, after in zip(cold, warm):
         assert before.metrics == after.metrics
+
+
+def test_warm_sweep_hits_staggered_scenarios_and_keeps_them_distinct(tmp_path):
+    """Non-zero start_time scenarios cache under their own hash: a warm sweep
+    serves them 100% from the store, and they never collide with (or shadow)
+    the simultaneous-arrival variant of the same pair."""
+    path = tmp_path / "r.sqlite"
+    base = pairwise_scenario(
+        "UR", "hotspot", target_ranks=4, background_ranks=4,
+        config=SimulationConfig(system=tiny_system()),
+    )
+    staggered = base.with_updates(start_time=20_000.0)
+    assert scenario_hash(staggered) != scenario_hash(base)
+    cold = run_sweep([base, staggered], workers=1, store=path)
+    assert [r.cached for r in cold] == [False, False]
+    warm = run_sweep([base, staggered], workers=1, store=path)
+    assert [r.cached for r in warm] == [True, True]
+    assert warm[0].metrics == cold[0].metrics
+    assert warm[1].metrics == cold[1].metrics
+    # The stagger is visible in the stored description and the metrics.
+    with ResultStore(path) as store:
+        stored = store.get(staggered)
+        assert stored.scenario["jobs"][0]["start_time"] == 20_000.0
+        assert stored.metrics["start_time_ns/UR"] == 20_000.0
+        assert store.get(base).scenario["jobs"][0].get("start_time") is None
 
 
 # ----------------------------------------------------------------- renderers
@@ -344,6 +413,170 @@ def test_cli_report_reads_store_without_simulating(tmp_path, capsys):
 
     assert main(["report", "table1", "--store", str(path), "--format", "csv"]) == 0
     assert capsys.readouterr().out.startswith("pattern,app,")
+
+
+def test_cli_synthetic_report_compares_stored_backgrounds(tmp_path, capsys):
+    """report synthetic/<T> renders every stored pattern background, and
+    --start-time narrows staggered vs simultaneous co-runs."""
+    path = tmp_path / "r.sqlite"
+    tiny = SimulationConfig(system=tiny_system())
+    baseline = pairwise_scenario("UR", None, target_ranks=4, config=tiny)
+    with ResultStore(path) as store:
+        store.record(baseline, {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 10.0})
+        for pattern, comm in [("hotspot", 150.0), ("bursty", 120.0)]:
+            pair = pairwise_scenario(
+                "UR", pattern, target_ranks=4, background_ranks=4, config=tiny
+            )
+            store.record(pair, {"comm_time_ns/UR": comm, "comm_time_std_ns/UR": 10.0})
+            staggered = pair.with_updates(start_time=20_000.0)
+            store.record(
+                staggered, {"comm_time_ns/UR": comm * 2, "comm_time_std_ns/UR": 10.0}
+            )
+    assert main(
+        ["report", "synthetic/UR", "--store", str(path), "--start-time", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Synthetic-background interference" in out
+    assert "bursty" in out and "hotspot" in out
+    assert "1.200" in out and "1.500" in out
+    # The staggered co-runs form their own report slice.
+    assert main(
+        ["report", "synthetic/UR", "--store", str(path), "--start-time", "20000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "2.400" in out and "3.000" in out
+    # Without narrowing, mixing the two arrival configurations is refused.
+    assert main(["report", "synthetic/UR", "--store", str(path)]) == 2
+    assert "arrival" in capsys.readouterr().err
+
+
+def test_comparison_rows_refuse_to_blend_pattern_knob_variants():
+    """Runs of one pair differing only in a pattern knob are different
+    experiments: reporting their average would describe neither."""
+    tiny = SimulationConfig(system=tiny_system())
+    store = ResultStore()
+    baseline = pairwise_scenario("UR", None, target_ranks=4, config=tiny)
+    store.record(baseline, {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 10.0})
+    pair = pairwise_scenario("UR", "hotspot", target_ranks=4, background_ranks=4, config=tiny)
+    for index, knobs in enumerate([{"hot_fraction": 0.1}, {"hot_fraction": 0.9}]):
+        variant = pair.with_updates(
+            name=f"pairwise/UR+hotspot[v{index}]", job_kwargs={"hotspot": knobs}
+        )
+        store.record(
+            variant, {"comm_time_ns/UR": 110.0 + 390.0 * index, "comm_time_std_ns/UR": 10.0}
+        )
+    with pytest.raises(ValueError, match="kwargs"):
+        comparison_rows(store, "UR", "hotspot")
+    # The knobs filter singles out one cell of the sweep...
+    (row,) = comparison_rows(store, "UR", "hotspot", knobs={"hotspot": {"hot_fraction": 0.9}})
+    assert row["interfered_comm_ns"] == 500.0
+    # ...and aggregate keeps the two knob settings in separate groups.
+    rows = store.aggregate("comm_time_ns", name_prefix="pairwise/UR+hotspot")
+    assert sorted(row["mean"] for row in rows) == [110.0, 500.0]
+
+
+def test_cli_report_knob_filter_selects_one_sweep_cell(tmp_path, capsys):
+    tiny = SimulationConfig(system=tiny_system())
+    path = tmp_path / "r.sqlite"
+    with ResultStore(path) as store:
+        baseline = pairwise_scenario("UR", None, target_ranks=4, config=tiny)
+        store.record(baseline, {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 10.0})
+        pair = pairwise_scenario(
+            "UR", "hotspot", target_ranks=4, background_ranks=4, config=tiny
+        )
+        for index, fraction in enumerate([0.1, 0.9]):
+            store.record(
+                pair.with_updates(
+                    name=f"pairwise/UR+hotspot[v{index}]",
+                    job_kwargs={"hotspot": {"hot_fraction": fraction}},
+                ),
+                {"comm_time_ns/UR": 110.0 + 390.0 * index, "comm_time_std_ns/UR": 10.0},
+            )
+    argv = ["report", "pairwise/UR+hotspot", "--store", str(path)]
+    assert main(argv) == 2
+    assert "--knob" in capsys.readouterr().err
+    assert main(argv + ["--knob", "hotspot:hot_fraction=0.9"]) == 0
+    assert "5.000" in capsys.readouterr().out  # slowdown 500/100
+    assert main(argv + ["--knob", "bad-spec"]) == 2
+    assert "JOB:KEY=VALUE" in capsys.readouterr().err
+
+
+def test_knob_filter_matches_constructor_defaults():
+    """A run that never spelled a knob out still matches a --knob filter
+    equal to the knob's constructor default (Hotspot defaults to 0.25)."""
+    tiny = SimulationConfig(system=tiny_system())
+    store = ResultStore()
+    pair = pairwise_scenario("UR", "hotspot", target_ranks=4, background_ranks=4, config=tiny)
+    store.record(pair, {"comm_time_ns/UR": 1.0})
+    assert store.runs(knobs={"hotspot": {"hot_fraction": 0.25}})
+    assert not store.runs(knobs={"hotspot": {"hot_fraction": 0.9}})
+    assert not store.runs(knobs={"hotspot": {"no_such_knob": 1}})
+    assert not store.runs(knobs={"FFT3D": {"scale": 1.0}})  # job not in the run
+
+
+def test_ensure_comparable_rejects_mismatched_shared_job():
+    """Baseline vs co-run comparisons refuse a target whose own config
+    (kwargs or rank count) differs between the two families."""
+    from repro.results.store import ensure_comparable
+
+    tiny = SimulationConfig(system=tiny_system())
+    store = ResultStore()
+    baseline = pairwise_scenario("UR", None, target_ranks=4, config=tiny)
+    store.record(baseline, {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 1.0})
+    pair = pairwise_scenario("UR", "hotspot", target_ranks=4, background_ranks=4, config=tiny)
+    boosted = pair.with_updates(job_kwargs={"UR": {"iterations": 60}})
+    store.record(boosted, {"comm_time_ns/UR": 300.0, "comm_time_std_ns/UR": 1.0})
+    with pytest.raises(ValueError, match="job 'UR'"):
+        comparison_rows(store, "UR", "hotspot")
+    with pytest.raises(ValueError, match="job 'UR'"):
+        ensure_comparable(store.runs(), "mixed families")
+
+
+def test_comparison_rows_ignore_staggered_baseline_variants():
+    """A store polluted with staggered *baseline* runs stays reportable: the
+    co-run comparison always reads the simultaneous-arrival baseline, and a
+    baseline-only report selects among the variants via start_time."""
+    tiny = SimulationConfig(system=tiny_system())
+    baseline = pairwise_scenario("UR", None, target_ranks=4, config=tiny)
+    store = ResultStore()
+    store.record(baseline, {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 10.0})
+    store.record(
+        baseline.with_updates(start_time=20_000.0),
+        {"comm_time_ns/UR": 100.0, "comm_time_std_ns/UR": 10.0},
+    )
+    pair = pairwise_scenario("UR", "hotspot", target_ranks=4, background_ranks=4, config=tiny)
+    store.record(pair, {"comm_time_ns/UR": 150.0, "comm_time_std_ns/UR": 10.0})
+    (row,) = comparison_rows(store, "UR", "hotspot")
+    assert row["slowdown"] == pytest.approx(1.5)
+    (staggered_baseline,) = comparison_rows(store, "UR", None, start_time=20_000.0)
+    assert staggered_baseline["background"] == "None"
+
+
+def test_cli_report_synthetic_pattern_renders_standalone_family(tmp_path, capsys):
+    """`report synthetic/<pattern>` reads the standalone synthetic/<pattern>
+    runs (the same name `run` stores them under), not a pairwise target."""
+    from repro.experiments.scenario import synthetic_scenario
+
+    path = tmp_path / "r.sqlite"
+    scenario = synthetic_scenario(
+        "hotspot", num_ranks=6, config=SimulationConfig(system=tiny_system())
+    )
+    with ResultStore(path) as store:
+        store.record(
+            scenario,
+            {
+                "total_msg_bytes/hotspot": 1000,
+                "execution_time_ns/hotspot": 2000.0,
+                "injection_rate_gbps/hotspot": 0.5,
+                "peak_ingress_bytes/hotspot": 400,
+            },
+        )
+    assert main(["report", "synthetic/hotspot", "--store", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "standalone" in out and "hotspot" in out and "0.500" in out
+    # An empty family still produces the populate-me hint, not a pairwise one.
+    assert main(["report", "synthetic/bursty", "--store", str(path)]) == 2
+    assert "run synthetic/bursty" in capsys.readouterr().err
 
 
 def test_cli_report_missing_store_fails_cleanly(tmp_path, capsys):

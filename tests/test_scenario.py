@@ -129,6 +129,62 @@ def test_scenario_canonicalizes_job_and_placement_names():
 
 
 # --------------------------------------------------------------------- hashing
+#: Pinned cache key of every registry preset.  These hashes are the sweep
+#: cache and result-store keys: silent drift would orphan every stored run,
+#: so any change here must be deliberate and come with a CACHE_VERSION bump
+#: (or be a brand-new preset).  Regenerate a line with
+#: `dragonfly-sim scenarios <name>` + scenario_hash, or the loop in this file.
+GOLDEN_PRESET_HASHES = {
+    "mixed/solo/CosmoFlow": "a0cc57a4191d9d215f55ab69",
+    "mixed/solo/FFT3D": "00fc603e3ad28fe009899c8f",
+    "mixed/solo/LQCD": "b736b63b306c024e17feb7cb",
+    "mixed/solo/LU": "011511cf437d0066923bb8d1",
+    "mixed/solo/Stencil5D": "98114d5f3415d5e4223a0fae",
+    "mixed/solo/UR": "de9cf7f5a871582db32852d9",
+    "mixed/table2": "25bb9f805eb1e7fefa8e03fb",
+    "pairwise/CosmoFlow": "fd7dff5929e22ba6368aa23e",
+    "pairwise/CosmoFlow+Halo3D": "457af3e271ad3276f65e33c4",
+    "pairwise/FFT3D": "349d93fdc952bb2822091299",
+    "pairwise/FFT3D+Halo3D": "35cf80b4ebca0cdd9219e99d",
+    "pairwise/FFT3D+UR": "53bb85180bc419f6640627bd",
+    "pairwise/LQCD": "c1104bf18b3fc9e9f482bbd1",
+    "pairwise/LQCD+Stencil5D": "a23cc1cf00fdcd0ad6924e31",
+    "pairwise/UR": "6b54c9dadbbf67ddbfb86496",
+    "pairwise/UR+bit-complement": "4311743960b135f34aec3b76",
+    "pairwise/UR+bursty": "59b928e4f1eb5f5cb8674f4a",
+    "pairwise/UR+hotspot": "74122e927c8810e491dc142e",
+    "pairwise/UR+permutation": "cf1fb553e42fc4b344f2cacb",
+    "pairwise/UR+shift": "c4ef9a56f3f5d2d9bcfaac5b",
+    "pairwise/UR+transpose": "c40863e9b6d9fa1ddad4acf1",
+    "synthetic/bit-complement": "9f338cb52db9d38a72792fd6",
+    "synthetic/bursty": "cc2ec02d447528fbbb159470",
+    "synthetic/hotspot": "cd8c2e93f0a875357ebd63b4",
+    "synthetic/permutation": "9dea7b33d7ef9340b73a37e6",
+    "synthetic/shift": "6412658cbe165156d3ebbeb7",
+    "synthetic/transpose": "ba990fb6e737938f6a56083a",
+    "table1/CosmoFlow": "0c41981f68d060ca0c90f0f7",
+    "table1/DL": "2e68a3b60bbeafb745121b49",
+    "table1/FFT3D": "8a763b7e12b096cf3030d085",
+    "table1/Halo3D": "ed85f3fd626ce520909a89c8",
+    "table1/LQCD": "a8280542b4c9623eafa82b3b",
+    "table1/LU": "dcb1d23d61377cf9c282fd70",
+    "table1/LULESH": "9315035801040ad8cf6cc440",
+    "table1/Stencil5D": "d37160e09bf00cb475db3b57",
+    "table1/UR": "2b3415b947e02e5b111492ab",
+}
+
+
+def test_every_registry_preset_hash_is_pinned():
+    """Cache-key drift across the whole scenario library fails tier-1.
+
+    A mismatch means stored sweeps and result-store rows for that preset
+    would silently stop being found; an extra/missing name means the library
+    itself changed.  Both must be conscious decisions, not side effects.
+    """
+    actual = {name: scenario_hash(get_scenario(name)) for name in scenario_names()}
+    assert actual == GOLDEN_PRESET_HASHES
+
+
 def test_scenario_hash_golden_value():
     """Golden cache key: fails when the canonical serialization (or any
     config default covered by it) changes, reminding you to bump
@@ -261,7 +317,126 @@ def test_dump_and_load_scenario_files(tmp_path):
         dump_scenarios(tmp_path / "none.json", [])
 
 
+# ----------------------------------------------------------- staggered arrivals
+def test_start_time_round_trips_and_is_omitted_when_zero():
+    staggered = _tiny_scenario(
+        jobs=(
+            AppSpec("FFT3D", 8, {"scale": 0.3}, 25_000.0),
+            AppSpec("Halo3D", 8, {"scale": 0.3, "seed": 7}),
+        )
+    )
+    rebuilt = Scenario.from_json(staggered.to_json())
+    assert rebuilt == staggered
+    assert rebuilt.jobs[0].start_time == 25_000.0
+    doc = staggered.to_dict()
+    # Zero-start jobs keep the historical three-key form (hash preservation).
+    assert "start_time" not in doc["jobs"][1]
+    assert doc["jobs"][0]["start_time"] == 25_000.0
+
+
+def test_start_time_changes_hash_only_when_nonzero():
+    explicit_zero = _tiny_scenario(
+        jobs=(AppSpec("FFT3D", 8, {"scale": 0.3}, 0.0), _tiny_scenario().jobs[1])
+    )
+    assert scenario_hash(explicit_zero) == scenario_hash(_tiny_scenario())
+    staggered = _tiny_scenario(
+        jobs=(AppSpec("FFT3D", 8, {"scale": 0.3}, 1.0), _tiny_scenario().jobs[1])
+    )
+    assert scenario_hash(staggered) != scenario_hash(_tiny_scenario())
+
+
+def test_staggered_scenario_runs_and_delays_the_job():
+    staggered = _tiny_scenario().with_updates(start_time=40_000.0, scale=0.2)
+    assert staggered.jobs[0].start_time == 40_000.0
+    result = staggered.run()
+    assert result.completed
+    target = result.record("FFT3D")
+    background = result.record("Halo3D")
+    assert min(target.start_time.values()) == 40_000.0
+    assert min(background.start_time.values()) == 0.0
+
+
+def test_expand_grid_start_times_and_job_knobs_axes():
+    base = pairwise_scenario(
+        "UR", "hotspot", target_ranks=4, background_ranks=4,
+        config=SimulationConfig(system=tiny_system()),
+    )
+    grid = expand_grid(
+        base,
+        start_times=[0.0, 10_000.0],
+        job_knobs=[{"hotspot": {"hot_fraction": 0.1}}, {"hotspot": {"hot_fraction": 0.5}}],
+    )
+    assert len(grid) == 4
+    # An explicit t0=0 is the base experiment: no name part, so its cells
+    # share the cache keys of the unstaggered grid.
+    assert [s.name for s in grid] == [
+        "pairwise/UR+hotspot[hotspot(hot_fraction=0.1)]",
+        "pairwise/UR+hotspot[hotspot(hot_fraction=0.5)]",
+        "pairwise/UR+hotspot[t0=10000,hotspot(hot_fraction=0.1)]",
+        "pairwise/UR+hotspot[t0=10000,hotspot(hot_fraction=0.5)]",
+    ]
+    (zero_cell,) = [s for s in expand_grid(base, start_times=[0.0])]
+    assert zero_cell.name == base.name
+    assert scenario_hash(zero_cell) == scenario_hash(base)
+    assert {s.jobs[0].start_time for s in grid} == {0.0, 10_000.0}
+    assert {s.jobs[1].kwargs["hot_fraction"] for s in grid} == {0.1, 0.5}
+    # Non-overridden kwargs of the knob-targeted job survive the merge.
+    assert all(s.jobs[1].kwargs["seed"] == 7 for s in grid)
+    with pytest.raises(ValueError, match="no job named"):
+        expand_grid(base, job_knobs=[{"LULESH": {"scale": 1.0}}])
+
+
+def test_synthetic_presets_registered_and_runnable():
+    names = scenario_names()
+    for pattern in ("permutation", "shift", "bit-complement", "transpose", "hotspot", "bursty"):
+        assert f"synthetic/{pattern}" in names
+        assert f"pairwise/UR+{pattern}" in names
+    assert "pairwise/UR" in names
+    scenario = get_scenario("pairwise/UR+hotspot")
+    assert [spec.name for spec in scenario.jobs] == ["UR", "hotspot"]
+
+
 # ------------------------------------------------------------------ satellites
+def test_appspec_validates_at_construction():
+    """Bad job descriptions fail when described, naming the offending job."""
+    with pytest.raises(ValueError, match="positive rank count"):
+        AppSpec("UR", 0)
+    with pytest.raises(ValueError, match="num_ranks must be an integer"):
+        AppSpec("UR", 2.5)
+    with pytest.raises(ValueError, match="unknown application"):
+        AppSpec("NotAnApp", 4)
+    with pytest.raises(ValueError, match="name must be a string"):
+        AppSpec(5, 4)
+    with pytest.raises(ValueError, match="does not accept kwargs \\['warp_speed'\\]"):
+        AppSpec("UR", 4, {"warp_speed": 9})
+    with pytest.raises(ValueError, match="hot_fraction"):
+        AppSpec("UR", 4, {"hot_fraction": 0.5})  # a hotspot knob on UR
+    with pytest.raises(ValueError, match="finite and non-negative"):
+        AppSpec("UR", 4, {}, -1.0)
+    with pytest.raises(ValueError, match="finite and non-negative"):
+        AppSpec("UR", 4, {}, float("nan"))
+    with pytest.raises(ValueError, match="seed must be a non-negative integer"):
+        AppSpec("permutation", 4, {"seed": -1})
+    # Valid knobs pass, and names canonicalize like RoutingConfig aliases.
+    spec = AppSpec("HOTSPOT", 4, {"hot_fraction": 0.5, "scale": 0.2}, 5.0)
+    assert spec.name == "hotspot" and spec.start_time == 5.0
+
+
+def test_scenario_parse_errors_name_the_job_index():
+    doc = _tiny_scenario().to_dict()
+    doc["jobs"][1]["num_ranks"] = 0
+    with pytest.raises(ValueError, match="jobs\\[1\\].*positive rank count"):
+        Scenario.from_dict(doc)
+    doc = _tiny_scenario().to_dict()
+    doc["jobs"][0]["kwargs"]["bogus_knob"] = 1
+    with pytest.raises(ValueError, match="jobs\\[0\\].*bogus_knob"):
+        Scenario.from_dict(doc)
+    doc = _tiny_scenario().to_dict()
+    doc["jobs"][0]["start_time"] = -5.0
+    with pytest.raises(ValueError, match="jobs\\[0\\]"):
+        Scenario.from_dict(doc)
+
+
 def test_routing_config_validates_and_canonicalizes_algorithm():
     assert RoutingConfig(algorithm="ugal").algorithm == "ugal-g"
     assert RoutingConfig(algorithm="ugalg ").algorithm == "ugal-g"  # alias + whitespace
