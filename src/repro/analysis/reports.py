@@ -34,6 +34,7 @@ __all__ = [
     "format_table",
     "intensity_report",
     "interference_report",
+    "loadcurve_rows",
     "render_rows",
     "report_names",
     "synthetic_rows",
@@ -75,6 +76,16 @@ MIXED_COLUMNS = [
     "interfered_comm_ns",
     "slowdown",
     "variation",
+]
+LOADCURVE_COLUMNS = [
+    "routing",
+    "pattern",
+    "offered_load",
+    "window_ns",
+    "accepted_throughput_gbps",
+    "latency_mean_ns",
+    "latency_p50_ns",
+    "latency_p99_ns",
 ]
 
 
@@ -350,6 +361,83 @@ def synthetic_standalone_rows(
     return rows
 
 
+def loadcurve_rows(
+    store,
+    pattern: str,
+    routings: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    offered_load: Optional[float] = None,
+) -> List[dict]:
+    """Latency-vs-offered-load curve rows for one pattern — no simulation.
+
+    Reads the stored ``loadcurve/<pattern>`` steady-state runs (see
+    :func:`repro.experiments.scenario.loadcurve_scenario`), groups them by
+    routing algorithm × offered load × measurement window × arrival config,
+    aggregates each group across seeds, and returns one row per group sorted
+    so each routing algorithm's rows trace its latency-throughput curve.
+    Every reported metric is a measurement-window metric: warmup is excluded
+    by construction.  A store holding several window configs of one pattern
+    yields one row per config, told apart by the ``window_ns`` column
+    (``warmup+measurement``); ``start_time`` narrows to one arrival stagger
+    like the other reports.
+    """
+    from repro.results.store import ensure_uniform, mean_metric
+    from repro.workloads import SYNTHETIC_PATTERNS, resolve_application
+
+    pattern = resolve_application(pattern)
+    if pattern not in SYNTHETIC_PATTERNS:
+        raise ValueError(
+            f"{pattern!r} is not a synthetic pattern; loadcurve reports cover "
+            f"{sorted(SYNTHETIC_PATTERNS)}"
+        )
+    runs = store.runs_named(
+        f"loadcurve/{pattern}",
+        seed=seed, scale=scale, placement=placement, start_time=start_time,
+        knobs=knobs, offered_load=offered_load,
+    )
+    if routings is not None:
+        runs = [run for run in runs if run.routing in routings]
+    if not runs:
+        raise ValueError(
+            f"no stored loadcurve/{pattern} runs; populate the store with e.g. "
+            f"'dragonfly-sim sweep --scenario loadcurve/{pattern} "
+            f"--offered-loads 0.1 0.4 0.7 --store PATH'"
+        )
+    groups: Dict[tuple, list] = {}
+    for run in runs:
+        loads = {load for load in run.job_offered_loads() if load is not None}
+        if len(loads) != 1:
+            continue  # not a single-load steady-state run
+        key = (run.routing, loads.pop(), run.window(), run.job_start_times())
+        groups.setdefault(key, []).append(run)
+    rows = []
+    # Stringify the window for ordering: a warmup-only config carries
+    # measurement_ns=None, which floats refuse to compare against.
+    for routing, load, window, _starts in sorted(
+        groups, key=lambda k: (k[0], k[1], tuple(str(part) for part in k[2]), k[3])
+    ):
+        matched = groups[(routing, load, window, _starts)]
+        ensure_uniform(matched, f"loadcurve/{pattern}")
+        warmup, measurement = window
+        rows.append(
+            {
+                "routing": routing,
+                "pattern": pattern,
+                "offered_load": load,
+                "window_ns": f"{warmup:g}+{measurement:g}" if measurement else f"{warmup:g}+",
+                "accepted_throughput_gbps": mean_metric(matched, "accepted_throughput_gbps"),
+                "latency_mean_ns": mean_metric(matched, "measured_packet_latency_mean_ns"),
+                "latency_p50_ns": mean_metric(matched, "measured_packet_latency_p50_ns"),
+                "latency_p99_ns": mean_metric(matched, "measured_packet_latency_p99_ns"),
+            }
+        )
+    return rows
+
+
 def report_names() -> List[str]:
     """Names ``build_report`` accepts (pairwise reports are parameterized)."""
     return [
@@ -359,6 +447,7 @@ def report_names() -> List[str]:
         "pairwise/<Target>+<Background>",
         "synthetic/<Target>",
         "synthetic/<pattern>",
+        "loadcurve/<pattern>",
     ]
 
 
@@ -377,10 +466,12 @@ def build_report(
 
     ``name`` is ``table1``, ``table2``, ``mixed`` (the Fig. 10 interference
     rows), ``pairwise/<Target>+<Background>`` (``pairwise/<Target>`` for
-    the standalone baseline row) or ``synthetic/<Target>`` (the target
-    against every stored synthetic background).  ``routing``/``seed``/``scale``/
-    ``placement`` narrow the stored runs considered; metrics are aggregated
-    (mean) across whatever still matches.  Backs ``dragonfly-sim report``.
+    the standalone baseline row), ``synthetic/<Target>`` (the target
+    against every stored synthetic background) or ``loadcurve/<pattern>``
+    (the steady-state latency-vs-offered-load curve, one row per routing ×
+    load).  ``routing``/``seed``/``scale``/``placement`` narrow the stored
+    runs considered; metrics are aggregated (mean) across whatever still
+    matches.  Backs ``dragonfly-sim report``.
     """
     if routing is not None:
         # Stored runs carry canonical algorithm names; accept the same
@@ -426,6 +517,16 @@ def build_report(
             start_time=start_time, knobs=knobs,
         )
         columns = PAIRWISE_COLUMNS
+    elif name.startswith("loadcurve/"):
+        pattern = name[len("loadcurve/"):]
+        if not pattern:
+            raise ValueError("loadcurve report needs a pattern: loadcurve/<pattern>")
+        title = f"Steady-state latency vs offered load — {pattern}"
+        rows = loadcurve_rows(
+            store, pattern, routings=routings, seed=seed, scale=scale,
+            placement=placement, start_time=start_time, knobs=knobs,
+        )
+        columns = LOADCURVE_COLUMNS
     elif name.startswith("synthetic/"):
         from repro.workloads import SYNTHETIC_PATTERNS, resolve_application
 

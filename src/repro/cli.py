@@ -13,7 +13,8 @@ Seven subcommands cover the study's workflows:
 * ``run``       — execute a named scenario from the built-in library or a
   scenario JSON file, optionally recording into a store
   (see docs/scenarios.md);
-* ``report``    — rebuild Table I/II and the pairwise/mixed comparison rows
+* ``report``    — rebuild Table I/II, the pairwise/mixed comparison rows and
+  the steady-state ``loadcurve/<pattern>`` latency-vs-offered-load curves
   from a populated result store, as text, CSV or Markdown — **no
   simulation** (see docs/results.md);
 * ``scenarios`` — list the scenario library, or describe one as JSON.
@@ -154,6 +155,25 @@ def build_parser() -> argparse.ArgumentParser:
              "times (ns); --scenario grids only",
     )
     sweep.add_argument(
+        "--offered-loads", nargs="+", type=float, default=None, metavar="FRACTION",
+        help="sweep the base scenario's synthetic jobs across these "
+             "continuous-injection loads (fractions of terminal bandwidth, "
+             "e.g. 0.1 0.4 0.7) — the latency-vs-load axis; --scenario "
+             "grids only (see the loadcurve/<pattern> presets)",
+    )
+    sweep.add_argument(
+        "--warmup", type=float, default=None, metavar="NS",
+        help="override the base scenario's warmup_ns (statistics before this "
+             "time are excluded from measurement-window metrics); "
+             "--scenario grids only",
+    )
+    sweep.add_argument(
+        "--measurement", type=float, default=None, metavar="NS",
+        help="override the base scenario's measurement_ns (the run terminates "
+             "when the window closes instead of waiting for rank completion); "
+             "--scenario grids only",
+    )
+    sweep.add_argument(
         "--system", default="small", choices=["tiny", "small", "paper"],
         help="system shape for --workloads grids (default: the 72-node bench system)",
     )
@@ -197,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "name",
         help="report name: table1, table2, mixed, "
-             "pairwise/<Target>+<Background>, or synthetic/<Target>",
+             "pairwise/<Target>+<Background>, synthetic/<Target>, or "
+             "loadcurve/<pattern> (latency vs offered load, per routing)",
     )
     report.add_argument(
         "--store", default=str(DEFAULT_STORE_PATH), metavar="PATH",
@@ -337,19 +358,35 @@ def _run_sweep(args) -> int:
         bases = _resolve_scenarios(args.scenario)
         if hasattr(args, "scale"):
             bases = [base.with_updates(scale=args.scale) for base in bases]
+        if args.warmup is not None or args.measurement is not None:
+            bases = [
+                base.with_updates(warmup_ns=args.warmup, measurement_ns=args.measurement)
+                for base in bases
+            ]
         # Only the axes the user actually passed are expanded; everything
         # else keeps the base scenario's value.
         grid = expand_grid(
             bases, routings=args.routings, placements=args.placements, seeds=seeds,
-            start_times=args.start_times,
+            start_times=args.start_times, offered_loads=args.offered_loads,
         )
         columns = ["scenario", "jobs", "routing", "placement", "seed",
                    "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached"]
     else:
-        if args.start_times is not None:
+        steady_flags = [
+            flag
+            for flag, value in [
+                ("--start-times", args.start_times),
+                ("--offered-loads", args.offered_loads),
+                ("--warmup", args.warmup),
+                ("--measurement", args.measurement),
+            ]
+            if value is not None
+        ]
+        if steady_flags:
             print(
-                "error: --start-times requires --scenario (workload grids "
-                "describe standalone runs, which always start at t=0)",
+                f"error: {'/'.join(steady_flags)} requires --scenario "
+                "(workload grids describe fixed-length standalone runs that "
+                "start at t=0)",
                 file=sys.stderr,
             )
             return 2

@@ -18,6 +18,7 @@ nanosecond (1 GB/s == 1 byte/ns; 200 Gb/s == 25 B/ns).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -241,6 +242,63 @@ class SimulationConfig:
     max_time_ns: Optional[float] = None
     #: Hard stop on the number of fired events (safety valve for tests).
     max_events: Optional[int] = None
+
+    # ------------------------------------------------- steady-state windows
+    #: Warmup period, ns: statistics recorded before this time (cold Q-tables,
+    #: empty buffers) are kept in a separate warmup bucket and excluded from
+    #: every measurement-window metric.  0.0 = no warmup (the historical
+    #: whole-run accounting).
+    warmup_ns: float = 0.0
+    #: Length of the measurement window, ns.  When set, the run *terminates*
+    #: at ``warmup_ns + measurement_ns`` instead of waiting for every rank to
+    #: finish — the steady-state mode offered-load (continuous-injection)
+    #: workloads require.  ``None`` = run to completion as before.
+    measurement_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.warmup_ns) and self.warmup_ns >= 0):
+            raise ValueError(
+                f"warmup_ns must be finite and non-negative, got {self.warmup_ns!r}"
+            )
+        if self.measurement_ns is not None and not (
+            math.isfinite(self.measurement_ns) and self.measurement_ns > 0
+        ):
+            raise ValueError(
+                "measurement_ns must be finite and positive (a zero-length "
+                f"measurement window measures nothing), got {self.measurement_ns!r}"
+            )
+
+    # ------------------------------------------------------- window helpers
+    @property
+    def windowed(self) -> bool:
+        """Whether warmup/measurement windows are configured for this run."""
+        return self.warmup_ns > 0 or self.measurement_ns is not None
+
+    @property
+    def window_end_ns(self) -> Optional[float]:
+        """Absolute time the measurement window closes (None = no cutoff)."""
+        if self.measurement_ns is None:
+            return None
+        return self.warmup_ns + self.measurement_ns
+
+    def with_window(
+        self,
+        warmup_ns: Optional[float] = None,
+        measurement_ns: Optional[float] = None,
+    ) -> "SimulationConfig":
+        """Return a copy with the given window knobs (None = keep current).
+
+        To clear an existing measurement cutoff, go through ``replace``
+        explicitly — silently dropping a window is exactly the trap this
+        helper avoids.
+        """
+        return replace(
+            self,
+            warmup_ns=warmup_ns if warmup_ns is not None else self.warmup_ns,
+            measurement_ns=(
+                measurement_ns if measurement_ns is not None else self.measurement_ns
+            ),
+        )
 
     def with_routing(self, algorithm: str, **kwargs) -> "SimulationConfig":
         """Return a copy using ``algorithm`` (and optional routing overrides)."""

@@ -62,11 +62,25 @@ class RunResult:
     def makespan_ns(self) -> float:
         """Simulated time when the run finished.
 
-        For completed runs this is the time of the last event, so a
-        ``max_time_ns`` watchdog that never triggered does not inflate the
-        makespan (``run(until=...)`` idles the clock out to the bound).
+        For runs where every rank completed, this is the time the *last rank
+        finished its program* — derived from the job-completion records, so
+        trailing bookkeeping events (credit returns, and in particular the
+        ``ROUTING_FEEDBACK`` signals q-adaptive schedules after the final
+        packet is ejected) never inflate the completion time.  Windowed runs
+        that terminated on measurement-window expiry report the time of the
+        last fired event (the window bound while traffic was still flowing),
+        and incomplete runs report the clock where they stopped.
         """
-        return self.sim.last_event_time if self.completed else self.sim.now
+        if not self.completed:
+            return self.sim.now
+        finishes = [
+            max(job.record.finish_time.values())
+            for job in self.jobs.values()
+            if job.record.finish_time
+        ]
+        if self.engine.all_finished and len(finishes) == len(self.jobs):
+            return max(finishes)
+        return self.sim.last_event_time
 
     def summary(self) -> dict:
         """Coarse run summary (used by reports and tests)."""
@@ -120,8 +134,27 @@ def _execute(
         applications[spec.name] = application
         placements[spec.name] = nodes
 
-    engine.run(until=config.max_time_ns, max_events=config.max_events)
-    completed = engine.all_finished
+    # Windowed runs terminate on measurement-window expiry instead of
+    # all_finished — the only way to bound continuous (offered-load) jobs,
+    # whose rank programs never finish by design.
+    window_end = config.window_end_ns
+    until = config.max_time_ns
+    if window_end is not None:
+        until = window_end if until is None else min(until, window_end)
+    continuous = [
+        name
+        for name, application in applications.items()
+        if getattr(application, "offered_load", None) is not None
+    ]
+    if continuous and until is None and config.max_events is None:
+        raise ValueError(
+            f"jobs {continuous} inject continuously (offered_load is set) and "
+            "would never finish; bound the run with measurement_ns (plus an "
+            "optional warmup_ns), max_time_ns, or max_events"
+        )
+    engine.run(until=until, max_events=config.max_events)
+    window_elapsed = window_end is not None and sim.now >= window_end
+    completed = engine.all_finished or window_elapsed
     if require_completion and not completed:
         raise RuntimeError(
             "simulation stopped before all ranks finished; raise max_time_ns/max_events "

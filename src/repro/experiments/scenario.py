@@ -57,6 +57,7 @@ __all__ = [
     "expand_grid",
     "get_scenario",
     "load_scenarios",
+    "loadcurve_scenario",
     "mixed_scenario",
     "mixed_solo_scenarios",
     "pairwise_scenario",
@@ -78,6 +79,17 @@ CACHE_VERSION = 2
 _SIM_KNOBS: Tuple[str, ...] = tuple(
     sorted(f.name for f in fields(SimulationConfig) if f.name not in ("system", "routing"))
 )
+
+#: Sim knobs serialized **only when non-default**.  These fields were added
+#: after scenarios were first hashed; omitting them at their default value
+#: keeps the historical ``sim`` section byte-identical, so every pre-existing
+#: scenario hash (and with it every sweep-cache and result-store key) is
+#: preserved exactly — the same convention ``_job_to_dict`` applies to
+#: ``start_time``.
+_OPTIONAL_SIM_KNOBS: Dict[str, object] = {
+    "warmup_ns": 0.0,
+    "measurement_ns": None,
+}
 
 _TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
 _JOB_KEYS = frozenset({"name", "num_ranks", "kwargs", "start_time"})
@@ -172,7 +184,12 @@ class Scenario:
             "name": self.name,
             "system": {f.name: getattr(config.system, f.name) for f in fields(SystemConfig)},
             "routing": {f.name: getattr(config.routing, f.name) for f in fields(RoutingConfig)},
-            "sim": {knob: getattr(config, knob) for knob in _SIM_KNOBS},
+            "sim": {
+                knob: getattr(config, knob)
+                for knob in _SIM_KNOBS
+                if knob not in _OPTIONAL_SIM_KNOBS
+                or getattr(config, knob) != _OPTIONAL_SIM_KNOBS[knob]
+            },
             "placement": self.placement,
             "jobs": [_job_to_dict(spec) for spec in self.jobs],
         }
@@ -237,6 +254,9 @@ class Scenario:
         scale: Optional[float] = None,
         start_time: Optional[float] = None,
         job_kwargs: Optional[Dict[str, dict]] = None,
+        offered_load: Optional[float] = None,
+        warmup_ns: Optional[float] = None,
+        measurement_ns: Optional[float] = None,
     ) -> "Scenario":
         """Copy of this scenario with selected axes replaced (used by grids).
 
@@ -246,8 +266,14 @@ class Scenario:
         a pairwise co-run — so staggered-arrival studies delay the target
         against an already-running background.  ``job_kwargs`` merges
         per-job constructor overrides, keyed by (case-insensitive) job name:
-        ``{"hotspot": {"hot_fraction": 0.5}}``.
+        ``{"hotspot": {"hot_fraction": 0.5}}``.  ``offered_load`` switches
+        every job that supports it (the synthetic traffic family) to
+        continuous open-loop injection at that fraction of terminal
+        bandwidth; ``warmup_ns``/``measurement_ns`` set the steady-state
+        measurement window of the simulation config.
         """
+        from repro.workloads import application_kwargs
+
         config = self.config
         if routing is not None:
             config = config.with_routing(routing)
@@ -255,12 +281,35 @@ class Scenario:
             config = config.with_seed(seed)
         if system is not None:
             config = config.with_system(system)
+        if warmup_ns is not None or measurement_ns is not None:
+            config = config.with_window(warmup_ns=warmup_ns, measurement_ns=measurement_ns)
         jobs = list(self.jobs)
         if scale is not None:
             jobs = [
                 AppSpec(spec.name, spec.num_ranks, {**spec.kwargs, "scale": scale}, spec.start_time)
                 for spec in jobs
             ]
+        if offered_load is not None:
+            supported = [
+                index
+                for index, spec in enumerate(jobs)
+                if (accepted := application_kwargs(spec.name)) is None
+                or "offered_load" in accepted
+            ]
+            if not supported:
+                raise ValueError(
+                    f"no job of scenario {self.name!r} supports offered_load "
+                    f"(jobs are {[spec.name for spec in jobs]}; continuous "
+                    "injection is a synthetic traffic-pattern mode)"
+                )
+            for index in supported:
+                spec = jobs[index]
+                jobs[index] = AppSpec(
+                    spec.name,
+                    spec.num_ranks,
+                    {**spec.kwargs, "offered_load": offered_load},
+                    spec.start_time,
+                )
         if job_kwargs is not None:
             by_name = {spec.name: index for index, spec in enumerate(jobs)}
             for job_name, overrides in job_kwargs.items():
@@ -328,18 +377,21 @@ def expand_grid(
     seeds: Optional[Sequence[int]] = None,
     start_times: Optional[Sequence[float]] = None,
     job_knobs: Optional[Sequence[Dict[str, dict]]] = None,
+    offered_loads: Optional[Sequence[float]] = None,
 ) -> List[Scenario]:
     """Expand scenario template(s) along declared axes into a grid.
 
     Every base scenario — standalone, pairwise or mixed alike — is copied
     once per cell of ``routings × placements × seeds × start_times ×
-    job_knobs`` (an omitted axis keeps the base value).  ``start_times``
-    staggers the first job's arrival (see
+    job_knobs × offered_loads`` (an omitted axis keeps the base value).
+    ``start_times`` staggers the first job's arrival (see
     :meth:`Scenario.with_updates`); ``job_knobs`` cells are per-job kwargs
     overrides such as ``{"hotspot": {"hot_fraction": 0.5}}``, letting one
-    grid sweep a synthetic pattern's knobs.  Expanded names are
-    deterministic (``base[par,contiguous,seed=2,t0=5e+06]``), so re-running
-    the same grid hits the same sweep-cache entries.
+    grid sweep a synthetic pattern's knobs; ``offered_loads`` sweeps the
+    continuous-injection intensity of every synthetic job, the axis of
+    latency-vs-offered-load curves.  Expanded names are deterministic
+    (``base[par,contiguous,seed=2,t0=5e+06,load=0.4]``), so re-running the
+    same grid hits the same sweep-cache entries.
     """
     bases = [base] if isinstance(base, Scenario) else list(base)
     if not bases:
@@ -349,10 +401,11 @@ def expand_grid(
     seed_axis: List[Optional[int]] = list(seeds) if seeds else [None]
     start_axis: List[Optional[float]] = list(start_times) if start_times else [None]
     knob_axis: List[Optional[Dict[str, dict]]] = list(job_knobs) if job_knobs else [None]
+    load_axis: List[Optional[float]] = list(offered_loads) if offered_loads else [None]
 
     grid: List[Scenario] = []
-    for template, routing, placement, seed, start, knobs in itertools.product(
-        bases, routing_axis, placement_axis, seed_axis, start_axis, knob_axis
+    for template, routing, placement, seed, start, knobs, load in itertools.product(
+        bases, routing_axis, placement_axis, seed_axis, start_axis, knob_axis, load_axis
     ):
         expanded = template.with_updates(
             routing=routing,
@@ -360,6 +413,7 @@ def expand_grid(
             seed=seed,
             start_time=start,
             job_kwargs=knobs,
+            offered_load=load,
         )
         parts = []
         if routing is not None:
@@ -374,6 +428,8 @@ def expand_grid(
             parts.append(f"t0={start:g}")
         if knobs is not None:
             parts.append(_knob_label(knobs))
+        if load is not None:
+            parts.append(f"load={load:g}")
         name = f"{template.name}[{','.join(parts)}]" if parts else template.name
         grid.append(expanded.with_updates(name=name))
     return grid
@@ -488,6 +544,47 @@ def synthetic_scenario(
     )
 
 
+#: Default steady-state window of the ``loadcurve/<pattern>`` presets, ns.
+#: Warmup covers the cold-start transient (empty buffers, cold Q-tables) on
+#: the 72-node bench system; the measurement window is long enough for a few
+#: hundred injection periods per rank at every offered load.
+LOADCURVE_WARMUP_NS = 20_000.0
+LOADCURVE_MEASUREMENT_NS = 100_000.0
+
+
+def loadcurve_scenario(
+    pattern: str,
+    routing: str = "par",
+    seed: int = 1,
+    offered_load: float = 0.1,
+    num_ranks: Optional[int] = None,
+    warmup_ns: float = LOADCURVE_WARMUP_NS,
+    measurement_ns: float = LOADCURVE_MEASUREMENT_NS,
+    config: Optional[SimulationConfig] = None,
+    **knobs,
+) -> Scenario:
+    """Steady-state offered-load scenario for one synthetic traffic pattern.
+
+    The pattern runs in :class:`~repro.workloads.synthetic.ContinuousInjection`
+    mode at ``offered_load`` × terminal bandwidth; the run terminates when the
+    measurement window closes (``warmup_ns + measurement_ns``), and windowed
+    metrics (accepted throughput, measurement-window latency percentiles)
+    exclude the warmup transient.  Sweeping this scenario across
+    ``expand_grid(offered_loads=...)`` produces the classic
+    latency-vs-offered-load curve; render it with
+    ``dragonfly-sim report loadcurve/<pattern>``.
+    """
+    spec = synthetic_spec(
+        pattern, num_ranks=num_ranks, offered_load=offered_load, **knobs
+    )
+    base = config if config is not None else bench_config(routing, seed=seed)
+    return Scenario(
+        name=f"loadcurve/{spec.name}",
+        jobs=(spec,),
+        config=base.with_window(warmup_ns=warmup_ns, measurement_ns=measurement_ns),
+    )
+
+
 #: Registry of named scenarios: name -> zero-argument factory.  Factories
 #: (rather than instances) keep import cheap and let presets track registry
 #: defaults; ``get_scenario`` builds a fresh Scenario per call.
@@ -542,6 +639,9 @@ def _register_builtin_library() -> None:
         register_scenario(
             f"pairwise/UR+{pattern}", partial(pairwise_scenario, "UR", pattern)
         )
+        # Steady-state offered-load template (sweep it across offered_loads
+        # to trace the latency-throughput curve of the pattern).
+        register_scenario(f"loadcurve/{pattern}", partial(loadcurve_scenario, pattern))
     # Each preset target's standalone baseline (the other half of the Fig. 4
     # comparison the result-store reports read).
     for target in dict.fromkeys(

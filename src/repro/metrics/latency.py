@@ -47,9 +47,22 @@ class LatencySummary:
         }
 
 
-def latency_summary(stats: StatsCollector, app_id: Optional[int] = None) -> LatencySummary:
-    """Summarize packet latencies recorded by ``stats`` (optionally one app)."""
-    latencies = stats.packet_latencies(app_id)
+def latency_summary(
+    stats: StatsCollector,
+    app_id: Optional[int] = None,
+    measurement_only: bool = False,
+) -> LatencySummary:
+    """Summarize packet latencies recorded by ``stats`` (optionally one app).
+
+    ``measurement_only=True`` restricts the distribution to packets ejected
+    inside the configured measurement window (see
+    :meth:`~repro.stats.collector.StatsCollector.measurement_packet_latencies`),
+    which is how steady-state latency percentiles exclude warmup transients.
+    """
+    if measurement_only:
+        latencies = stats.measurement_packet_latencies(app_id)
+    else:
+        latencies = stats.packet_latencies(app_id)
     if latencies.size == 0:
         return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     p25, median, p75, p95, p99 = np.percentile(latencies, [25, 50, 75, 95, 99])

@@ -47,6 +47,24 @@ over pattern knobs stay self-describing.
 
 ``packet_latency_mean_ns``/``packet_latency_p99_ns`` are added when the run
 recorded per-packet latencies (``record_packets`` and at least one packet).
+
+**Windowed runs** (``SimulationConfig.warmup_ns``/``measurement_ns`` set)
+additionally emit steady-state metrics computed over the measurement window
+only — warmup transients are excluded from every one of them:
+
+=====================================  ========================================
+``warmup_ns``                          configured warmup period
+``measurement_elapsed_ns``             observed measurement-window length
+``measured_packets_injected``          packets injected inside the window
+``measured_packets_ejected``           packets delivered inside the window
+``measured_bytes_ejected``             payload bytes delivered inside the window
+``accepted_throughput_gbps``           delivered Gb/s over the window
+``offered_load``                       configured injection fraction (mean over
+                                       continuous jobs, when any)
+``measured_packet_latency_mean_ns``    mean latency, window ejections only
+``measured_packet_latency_p50_ns``     median latency, window ejections only
+``measured_packet_latency_p99_ns``     99th-percentile latency, window only
+=====================================  ========================================
 """
 
 from __future__ import annotations
@@ -125,4 +143,32 @@ def flatten_run(result) -> Dict[str, Number]:
         if latency.count:
             metrics["packet_latency_mean_ns"] = latency.mean
             metrics["packet_latency_p99_ns"] = latency.p99
+
+    if result.config.windowed:
+        # Steady-state metrics over the measurement window only.  An empty
+        # window (the run ended before warmup_ns did) raises a clear error
+        # here rather than storing metrics that describe nothing.
+        window = stats.measurement_summary()
+        metrics["warmup_ns"] = float(window["warmup_ns"])
+        metrics["measurement_elapsed_ns"] = float(window["measurement_elapsed_ns"])
+        metrics["measured_packets_injected"] = int(window["measured_packets_injected"])
+        metrics["measured_packets_ejected"] = int(window["measured_packets_ejected"])
+        metrics["measured_bytes_ejected"] = int(window["measured_bytes_ejected"])
+        # bytes/ns -> Gb/s (1 byte/ns == 8 Gb/s).
+        metrics["accepted_throughput_gbps"] = (
+            float(window["accepted_throughput_bytes_per_ns"]) * 8.0
+        )
+        loads = [
+            application.offered_load
+            for application in result.applications.values()
+            if getattr(application, "offered_load", None) is not None
+        ]
+        if loads:
+            metrics["offered_load"] = float(sum(loads) / len(loads))
+        if result.config.record_packets:
+            measured = latency_summary(stats, measurement_only=True)
+            if measured.count:
+                metrics["measured_packet_latency_mean_ns"] = measured.mean
+                metrics["measured_packet_latency_p50_ns"] = measured.median
+                metrics["measured_packet_latency_p99_ns"] = measured.p99
     return metrics

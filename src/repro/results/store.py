@@ -251,6 +251,30 @@ class StoredResult:
             float(job.get("start_time", 0.0)) for job in self.scenario["jobs"]
         )
 
+    def job_offered_loads(self) -> Tuple[Optional[float], ...]:
+        """Per-job continuous-injection offered loads (None = fixed-length job)."""
+        return tuple(
+            (
+                float(job.get("kwargs", {})["offered_load"])
+                if job.get("kwargs", {}).get("offered_load") is not None
+                else None
+            )
+            for job in self.scenario["jobs"]
+        )
+
+    def window(self) -> Tuple[float, Optional[float]]:
+        """``(warmup_ns, measurement_ns)`` of the run (``(0.0, None)`` = unwindowed).
+
+        These sim knobs are serialized only when non-default, so pre-window
+        stored runs read back as unwindowed.
+        """
+        sim = self.scenario.get("sim", {})
+        measurement = sim.get("measurement_ns")
+        return (
+            float(sim.get("warmup_ns", 0.0)),
+            float(measurement) if measurement is not None else None,
+        )
+
     def job_kwargs_key(self) -> Tuple[str, ...]:
         """Canonical per-job kwargs (hashable), the knob-identity of the run."""
         return tuple(
@@ -485,6 +509,7 @@ class ResultStore:
         scale: Optional[float] = None,
         start_time: Optional[float] = None,
         knobs: Optional[Dict[str, Dict[str, object]]] = None,
+        offered_load: Optional[float] = None,
     ) -> List[StoredResult]:
         """Stored runs matching every given filter (None = wildcard).
 
@@ -495,7 +520,10 @@ class ResultStore:
         ``knobs`` — ``{job: {kwarg: value}}`` — selects runs whose stored
         job carries exactly those kwarg values (``{"hotspot":
         {"hot_fraction": 0.9}}``), which is how one cell of a
-        ``job_knobs`` sweep is singled out.
+        ``job_knobs`` sweep is singled out;
+        ``offered_load`` selects runs whose every continuous-injection job
+        offers exactly that load (runs without a continuous job never match),
+        which is how one point of an offered-load sweep is singled out.
         """
         query = "SELECT * FROM runs"
         # Rows written before a CACHE_VERSION bump are orphaned, not served:
@@ -532,6 +560,13 @@ class ResultStore:
             results = [r for r in results if max(r.job_start_times()) == start_time]
         if knobs:
             results = [r for r in results if _knobs_match(r, knobs)]
+        if offered_load is not None:
+            results = [
+                r
+                for r in results
+                if {load for load in r.job_offered_loads() if load is not None}
+                == {float(offered_load)}
+            ]
         return results
 
     def runs_named(self, base: str, **filters) -> List[StoredResult]:
@@ -586,6 +621,11 @@ class ResultStore:
                         # e.g. hot_fraction=0.1 and 0.9 sweeps of one pair
                         # aggregate separately.
                         "job_kwargs": run.job_kwargs_key(),
+                        # Per-job continuous-injection loads (None where the
+                        # job is fixed-length) and the measurement-window
+                        # config: the grouping axes of offered-load sweeps.
+                        "offered_loads": run.job_offered_loads(),
+                        "window": run.window(),
                         "app": app,
                         "metric": key_metric,
                         "value": value,
@@ -598,7 +638,7 @@ class ResultStore:
         metric: str,
         group_by: Sequence[str] = (
             "family", "jobs", "routing", "placement", "scale", "start_times",
-            "job_kwargs", "app",
+            "job_kwargs", "offered_loads", "window", "app",
         ),
         **filters,
     ) -> List[dict]:
@@ -608,11 +648,12 @@ class ResultStore:
         ``mean``, ``std``, ``min``, ``max`` and ``p99`` over the matched
         values — the cross-seed statistics the paper's tables report.  The
         scenario ``family`` (name minus grid suffix), the message-volume
-        ``scale`` and the per-job arrival times ``start_times`` are grouping
-        axes by default, so different experiments that happen to share a
-        jobs string (``table1/FFT3D`` at 24 ranks vs ``pairwise/FFT3D`` at
-        32) — or runs at different volumes or staggered arrivals — are
-        never silently blended into one statistic.
+        ``scale``, the per-job arrival times ``start_times``, the per-job
+        ``offered_loads`` and the measurement ``window`` are grouping axes
+        by default, so different experiments that happen to share a jobs
+        string (``table1/FFT3D`` at 24 ranks vs ``pairwise/FFT3D`` at 32) —
+        or runs at different volumes, staggered arrivals, injection loads or
+        window configs — are never silently blended into one statistic.
         """
         groups: Dict[tuple, List[float]] = {}
         for row in self.rows(metric=metric, **filters):

@@ -22,6 +22,14 @@ placement policies, every routing algorithm, pairwise/mixed studies, sweeps
 and the result store.  Registry names are lowercase (``"hotspot"``,
 ``"bit-complement"``, …) so scenario presets read naturally
 (``pairwise/UR+hotspot``).
+
+Every pattern additionally supports an **offered-load mode**: constructing it
+with ``offered_load=0.4`` switches :meth:`SyntheticPattern.program` to the
+:class:`ContinuousInjection` driver, which injects open-loop at 40% of the
+terminal link bandwidth *indefinitely* — the setup behind steady-state
+latency-vs-offered-load curves.  Such runs are bounded by the simulation
+config's warmup/measurement window rather than by rank completion (see
+``SimulationConfig.measurement_ns``).
 """
 
 from __future__ import annotations
@@ -37,12 +45,69 @@ from repro.workloads.base import Application
 __all__ = [
     "BitComplement",
     "Bursty",
+    "ContinuousInjection",
     "Hotspot",
     "Permutation",
     "Shift",
     "SyntheticPattern",
     "Transpose",
 ]
+
+
+class ContinuousInjection:
+    """Open-loop injection driver: one pattern at a fixed *offered load*.
+
+    Instead of a fixed message count, every rank injects one message per
+    injection period, where the period is chosen so the average injection
+    rate equals ``offered_load`` × the terminal link bandwidth — the classic
+    open-loop setup behind latency-vs-offered-load curves.  Sends are never
+    waited on (the load is *offered* whether or not the network keeps up),
+    receives are never posted (arrivals park in the MPI unexpected-message
+    queue), and the loop never terminates: the run must be bounded by a
+    measurement window (``SimulationConfig.measurement_ns``) or another stop
+    condition, which the experiment runner enforces.
+    """
+
+    def __init__(self, pattern: "SyntheticPattern", offered_load: float):
+        self.pattern = pattern
+        self.offered_load = float(offered_load)
+
+    def period_ns(self, ctx) -> float:
+        """Injection period (ns per iteration) realizing the offered load.
+
+        Scaled by the pattern's long-run :meth:`SyntheticPattern.send_fraction`
+        so gated patterns (bursty's OFF phases) still *average* the offered
+        load: their ON-phase instantaneous rate is proportionally higher.
+        """
+        system = ctx.engine.config.system
+        message = self.pattern.scaled(self.pattern.message_bytes)
+        period = message / (self.offered_load * system.link_bandwidth_bytes_per_ns)
+        return period * self.pattern.send_fraction()
+
+    def program(self, ctx) -> Iterator:
+        pattern = self.pattern
+        message = pattern.scaled(pattern.message_bytes)
+        threshold = ctx.engine.config.eager_threshold_bytes
+        if message > threshold:
+            # Rendezvous needs a posted receive to progress; an open-loop
+            # sender posts none, so the load would silently never be offered.
+            raise ValueError(
+                f"continuous injection requires eager messages: message size "
+                f"{message} exceeds eager_threshold_bytes={threshold}"
+            )
+        period = self.period_ns(ctx)
+        iteration = 0
+        while True:
+            if pattern.sends_in(iteration):
+                dests = pattern._destinations_cached(iteration)
+                # Every rank advances in lockstep (identical period), so maps
+                # older than the previous iteration can never be needed again.
+                pattern._dest_maps.pop(iteration - 2, None)
+                target = int(dests[ctx.rank])
+                if 0 <= target < pattern.num_ranks and target != ctx.rank:
+                    ctx.isend(target, message, tag=iteration)
+            yield ctx.compute(period)
+            iteration += 1
 
 
 class SyntheticPattern(Application):
@@ -67,12 +132,22 @@ class SyntheticPattern(Application):
         compute_ns: float = 250.0,
         scale: float = 1.0,
         seed: int = 0,
+        offered_load: Optional[float] = None,
     ):
         super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
         if message_bytes < 1:
             raise ValueError("message size must be positive")
+        if offered_load is not None and not 0.0 < float(offered_load) <= 1.0:
+            raise ValueError(
+                f"offered_load must be in (0, 1] (a fraction of the terminal "
+                f"link bandwidth), got {offered_load!r}"
+            )
         self.message_bytes = message_bytes
         self.compute_ns = float(compute_ns)
+        #: When set, the pattern runs in :class:`ContinuousInjection` mode:
+        #: open-loop injection at this fraction of terminal bandwidth,
+        #: indefinitely, instead of ``iterations`` closed-loop exchanges.
+        self.offered_load = float(offered_load) if offered_load is not None else None
         # One application instance is shared by every rank of a job, and the
         # destination map is a pure function of (seed, iteration): memoize it
         # so one rank's computation serves the whole job (O(n) per iteration
@@ -91,6 +166,16 @@ class SyntheticPattern(Application):
     def sends_in(self, iteration: int) -> bool:
         """Whether ``iteration`` is a sending (ON) iteration."""
         return True
+
+    def send_fraction(self) -> float:
+        """Long-run fraction of iterations that inject (1.0 = every one).
+
+        Continuous-injection mode divides its period by this so a gated
+        pattern still offers its configured *average* load.  (Self-targeting
+        draws — e.g. a hotspot rank drawing itself, probability ~1/n — are a
+        property of the destination distribution and are not compensated.)
+        """
+        return 1.0
 
     def _rng(self, iteration: int) -> np.random.Generator:
         """Deterministic per-iteration RNG shared by every rank.
@@ -112,6 +197,11 @@ class SyntheticPattern(Application):
 
     # -------------------------------------------------------------- program
     def program(self, ctx) -> Iterator:
+        if self.offered_load is not None:
+            return ContinuousInjection(self, self.offered_load).program(ctx)
+        return self._fixed_program(ctx)
+
+    def _fixed_program(self, ctx) -> Iterator:
         message = self.scaled(self.message_bytes)
         for iteration in range(self.iterations):
             ctx.begin_iteration(iteration)
@@ -146,7 +236,10 @@ class SyntheticPattern(Application):
     # ---------------------------------------------------------------- extras
     def pattern_metrics(self) -> Dict[str, float]:
         """Numeric pattern knobs recorded per-app by ``flatten_run``."""
-        return {"send_iterations": float(self.send_iterations())}
+        metrics = {"send_iterations": float(self.send_iterations())}
+        if self.offered_load is not None:
+            metrics["offered_load"] = self.offered_load
+        return metrics
 
 
 class Permutation(SyntheticPattern):
@@ -337,6 +430,9 @@ class Bursty(SyntheticPattern):
 
     def sends_in(self, iteration: int) -> bool:
         return (iteration % self._period) < self.burst_length
+
+    def send_fraction(self) -> float:
+        return self.burst_length / self._period
 
     def destinations(self, iteration: int) -> np.ndarray:
         # A shared permutation per ON iteration (the UR trick): uniform-random

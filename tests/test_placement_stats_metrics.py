@@ -141,6 +141,52 @@ def test_collector_registers_applications_and_summarizes():
     assert "X" == summary["applications"][0]["name"]
 
 
+def test_collector_summary_now_ns_reports_last_event_time():
+    """Regression: run(until=...) idles the clock forward to the watchdog
+    bound when the calendar drains early; summary()'s now_ns must report the
+    last *event* (the convention metrics/congestion.py follows), not the
+    idled-out clock."""
+    from repro.experiments.configs import AppSpec
+    from repro.experiments.runner import run_workloads
+
+    config = SimulationConfig(
+        system=tiny_system(), seed=5, max_time_ns=1e12
+    ).with_routing("minimal")
+    result = run_workloads(config, [AppSpec("UR", 4, {"scale": 0.2})])
+    assert result.sim.now == 1e12  # the clock idled out to the watchdog...
+    summary = result.stats.summary()
+    assert summary["now_ns"] == result.sim.last_event_time  # ...now_ns did not
+    assert summary["now_ns"] < 1e9
+
+
+def test_port_stall_on_unwired_port_attributed_by_topology():
+    """Regression: stalls on ports with no out-link were silently classified
+    LOCAL, polluting the local-stall breakdown — the topology knows a
+    terminal port is terminal whether or not the link is wired yet."""
+    from repro.network.router import Router
+    from repro.network.topology import DragonflyTopology, PortKind
+
+    config = SimulationConfig(system=tiny_system())
+    sim = Simulator()
+    collector = StatsCollector(sim, config)
+    topology = DragonflyTopology(config.system)
+    router = Router(sim, topology, config, router_id=0, stats=collector)
+
+    terminal_port = next(
+        p for p in range(topology.ports_per_router)
+        if topology.port_kind(p) == PortKind.TERMINAL
+    )
+    local_port = next(
+        p for p in range(topology.ports_per_router)
+        if topology.port_kind(p) == PortKind.LOCAL
+    )
+    collector.record_port_stall(router, terminal_port, 40.0, app_id=0)
+    collector.record_port_stall(router, local_port, 25.0, app_id=0)
+    assert collector.port_stall.total(LinkKind.TERMINAL) == pytest.approx(40.0)
+    assert collector.port_stall.total(LinkKind.LOCAL) == pytest.approx(25.0)
+    assert collector.port_stall.port_kind(0, terminal_port) == LinkKind.TERMINAL
+
+
 # --------------------------------------------------------------- app record
 def test_application_record_statistics():
     record = ApplicationRecord(app_id=1, name="demo", num_ranks=3)

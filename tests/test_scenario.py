@@ -135,6 +135,12 @@ def test_scenario_canonicalizes_job_and_placement_names():
 #: (or be a brand-new preset).  Regenerate a line with
 #: `dragonfly-sim scenarios <name>` + scenario_hash, or the loop in this file.
 GOLDEN_PRESET_HASHES = {
+    "loadcurve/bit-complement": "319214eeeed763bac1ba5088",
+    "loadcurve/bursty": "d57839b7218c0cf8d7354828",
+    "loadcurve/hotspot": "e8d668bb32b282fc187ce440",
+    "loadcurve/permutation": "251f057d9b9fa8cad7a0337d",
+    "loadcurve/shift": "bc36be09c0fc9c4382e55517",
+    "loadcurve/transpose": "28190ec2bd66dfbcf1531d4e",
     "mixed/solo/CosmoFlow": "a0cc57a4191d9d215f55ab69",
     "mixed/solo/FFT3D": "00fc603e3ad28fe009899c8f",
     "mixed/solo/LQCD": "b736b63b306c024e17feb7cb",
