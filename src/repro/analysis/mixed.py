@@ -20,7 +20,13 @@ Two paths produce the Fig. 10 interference rows:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import numpy as np
+
+    from repro.results import ResultStore
+
 
 import numpy as np
 
@@ -63,7 +69,7 @@ class MixedResult:
         """System-wide packet-latency distribution of the mixed run (Fig. 13a)."""
         return latency_summary(self.mixed.stats)
 
-    def system_throughput(self):
+    def system_throughput(self) -> Tuple["np.ndarray", "np.ndarray"]:
         """(times, GB/ms) aggregate delivered-byte series (Fig. 13b)."""
         return self.mixed.stats.system_throughput_series()
 
@@ -100,7 +106,7 @@ def mixed_study(
 
 
 def mixed_rows_from_store(
-    store,
+    store: "ResultStore",
     routings: Optional[Sequence[str]] = None,
     seed: Optional[int] = None,
     scale: Optional[float] = None,

@@ -18,7 +18,12 @@ Two paths produce the Fig. 4 comparison rows:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import numpy as np
+
+    from repro.results import ResultStore
 
 from repro.config import SimulationConfig
 from repro.experiments.configs import pairwise_specs
@@ -53,7 +58,9 @@ class PairwiseResult:
         job = result.jobs[self.target]
         return latency_summary(result.stats, app_id=job.job_id)
 
-    def throughput_series(self, app: str, interfered: bool = True):
+    def throughput_series(
+        self, app: str, interfered: bool = True
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
         """(times, GB/ms) series of ``app`` in either run."""
         result = self.interfered if (interfered and self.interfered is not None) else self.standalone
         job = result.jobs[app]
@@ -117,7 +124,7 @@ def pairwise_study(
 
 
 def comparison_rows(
-    store,
+    store: "ResultStore",
     target: str,
     background: Optional[str],
     routings: Optional[Sequence[str]] = None,

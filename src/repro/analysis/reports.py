@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.results import ResultStore
 
 from repro.metrics.interference import InterferenceSummary
 
@@ -154,7 +157,7 @@ def render_rows(
     return renderer(rows, columns)
 
 
-def _format_cell(value) -> str:
+def _format_cell(value: object) -> str:
     if isinstance(value, float):
         if abs(value) >= 1000:
             return f"{value:,.1f}"
@@ -164,7 +167,7 @@ def _format_cell(value) -> str:
 
 # ------------------------------------------------- store-backed report builders
 def table1_rows(
-    store,
+    store: "ResultStore",
     routing: Optional[str] = None,
     seed: Optional[int] = None,
     scale: Optional[float] = None,
@@ -213,7 +216,7 @@ def table1_rows(
 
 
 def table2_rows(
-    store,
+    store: "ResultStore",
     routing: Optional[str] = None,
     seed: Optional[int] = None,
     scale: Optional[float] = None,
@@ -261,7 +264,7 @@ def table2_rows(
 
 
 def synthetic_rows(
-    store,
+    store: "ResultStore",
     target: str,
     routings: Optional[Sequence[str]] = None,
     seed: Optional[int] = None,
@@ -315,7 +318,7 @@ def synthetic_rows(
 
 
 def synthetic_standalone_rows(
-    store,
+    store: "ResultStore",
     pattern: str,
     routing: Optional[str] = None,
     seed: Optional[int] = None,
@@ -362,7 +365,7 @@ def synthetic_standalone_rows(
 
 
 def loadcurve_rows(
-    store,
+    store: "ResultStore",
     pattern: str,
     routings: Optional[Sequence[str]] = None,
     seed: Optional[int] = None,
@@ -452,7 +455,7 @@ def report_names() -> List[str]:
 
 
 def build_report(
-    store,
+    store: "ResultStore",
     name: str,
     fmt: str = "table",
     routing: Optional[str] = None,

@@ -55,15 +55,15 @@ from repro.workloads import APPLICATIONS
 __all__ = ["build_parser", "main"]
 
 
-def _seed(args) -> int:
+def _seed(args: argparse.Namespace) -> int:
     return getattr(args, "seed", 1)
 
 
-def _scale(args) -> float:
+def _scale(args: argparse.Namespace) -> float:
     return getattr(args, "scale", 1.0)
 
 
-def _dump_path(args) -> Optional[str]:
+def _dump_path(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "dump_scenario", None)
 
 
@@ -275,7 +275,7 @@ def _dump_and_report(path: str, scenarios: List[Scenario]) -> int:
     return 0
 
 
-def _run_table1(args) -> int:
+def _run_table1(args: argparse.Namespace) -> int:
     scenarios = [
         table1_scenario(spec.name, routing=args.routing, seed=_seed(args), scale=_scale(args))
         for spec in table1_specs()
@@ -295,7 +295,7 @@ def _run_table1(args) -> int:
     return 0
 
 
-def _run_pairwise(args) -> int:
+def _run_pairwise(args: argparse.Namespace) -> int:
     dump = _dump_path(args)
     if dump:
         scenarios = [
@@ -320,7 +320,7 @@ def _run_pairwise(args) -> int:
     return 0
 
 
-def _run_mixed(args) -> int:
+def _run_mixed(args: argparse.Namespace) -> int:
     dump = _dump_path(args)
     if dump:
         scenarios = [
@@ -345,8 +345,8 @@ def _run_mixed(args) -> int:
     return 0
 
 
-def _run_sweep(args) -> int:
-    from repro.experiments.sweep import build_grid, run_sweep
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import SweepResult, build_grid, run_sweep
 
     if args.seeds is not None:
         seeds = args.seeds
@@ -406,7 +406,7 @@ def _run_sweep(args) -> int:
         scenarios = [cell if isinstance(cell, Scenario) else cell.to_scenario() for cell in grid]
         return _dump_and_report(dump, scenarios)
 
-    def progress(done, total, result):
+    def progress(done: int, total: int, result: SweepResult) -> None:
         origin = "cache" if result.cached else f"{result.wall_seconds:.1f}s"
         if result.point is not None:
             what = (f"{result.point.workload} {result.point.routing} "
@@ -446,7 +446,7 @@ def _run_sweep(args) -> int:
     return 0
 
 
-def _run_run(args) -> int:
+def _run_run(args: argparse.Namespace) -> int:
     scenarios = _resolve_scenarios(args.scenario)
     overrides = {}
     if args.routing is not None:
@@ -536,7 +536,7 @@ def _parse_knobs(specs: Optional[List[str]]) -> Optional[dict]:
     return knobs
 
 
-def _run_report(args) -> int:
+def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.reports import build_report
 
     path = Path(args.store)
@@ -581,7 +581,7 @@ def _run_report(args) -> int:
     return 0
 
 
-def _run_scenarios(args) -> int:
+def _run_scenarios(args: argparse.Namespace) -> int:
     if args.name:
         print(get_scenario(args.name).to_json())
         return 0

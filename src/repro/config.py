@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = [
     "GB_PER_MS",
@@ -143,7 +143,7 @@ class SystemConfig:
         """Time to serialize one maximum-size packet onto a link."""
         return self.packet_size_bytes / self.link_bandwidth_bytes_per_ns
 
-    def scaled(self, **overrides) -> "SystemConfig":
+    def scaled(self, **overrides: Any) -> "SystemConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **overrides)
 
@@ -300,7 +300,7 @@ class SimulationConfig:
             ),
         )
 
-    def with_routing(self, algorithm: str, **kwargs) -> "SimulationConfig":
+    def with_routing(self, algorithm: str, **kwargs: Any) -> "SimulationConfig":
         """Return a copy using ``algorithm`` (and optional routing overrides)."""
         return replace(self, routing=replace(self.routing, algorithm=algorithm, **kwargs))
 

@@ -112,6 +112,7 @@ class Simulator:
         return len(self._heap)
 
     # ------------------------------------------------------------- scheduling
+    # reprolint: hot
     def schedule(
         self,
         delay: float,
@@ -149,6 +150,7 @@ class Simulator:
         return EventHandle(entry)
 
     # -------------------------------------------------------------- execution
+    # reprolint: hot
     def step(self) -> bool:
         """Fire the next pending event.
 
@@ -198,6 +200,7 @@ class Simulator:
         pop = heapq.heappop
         trace = self.trace
         try:
+            # reprolint: hot
             while heap and not self._stopped:
                 if until is not None and heap[0][_TIME] > until:
                     self._now = until

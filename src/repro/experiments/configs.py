@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import SimulationConfig, small_system
 
@@ -232,7 +232,7 @@ def bench_config(
     return config.with_routing(routing)
 
 
-def bench_spec(name: str, num_ranks: Optional[int] = None, **kwargs) -> AppSpec:
+def bench_spec(name: str, num_ranks: Optional[int] = None, **kwargs: Any) -> AppSpec:
     """Benchmark-scale spec for application ``name`` (defaults from BENCH_RANKS)."""
     if name not in BENCH_RANKS:
         raise ValueError(f"unknown application {name!r}")
@@ -241,7 +241,7 @@ def bench_spec(name: str, num_ranks: Optional[int] = None, **kwargs) -> AppSpec:
 
 
 def synthetic_spec(
-    pattern: str, num_ranks: Optional[int] = None, start_time: float = 0.0, **kwargs
+    pattern: str, num_ranks: Optional[int] = None, start_time: float = 0.0, **kwargs: Any
 ) -> AppSpec:
     """Benchmark-scale spec for one synthetic traffic pattern.
 

@@ -34,7 +34,10 @@ import itertools
 import json
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - runner imports scenario at runtime
+    from repro.experiments.runner import RunResult
 
 from repro.config import RoutingConfig, SimulationConfig, SystemConfig
 from repro.experiments.configs import (
@@ -95,7 +98,7 @@ _TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
 _JOB_KEYS = frozenset({"name", "num_ranks", "kwargs", "start_time"})
 
 
-def _strict_dataclass(cls, data: dict, where: str):
+def _strict_dataclass(cls: type, data: dict, where: str) -> Any:
     """Build dataclass ``cls`` from ``data``, rejecting unknown keys."""
     if not isinstance(data, dict):
         raise ValueError(f"scenario section {where!r} must be an object, got {type(data).__name__}")
@@ -107,6 +110,11 @@ def _strict_dataclass(cls, data: dict, where: str):
 
 
 def _job_to_dict(spec: AppSpec) -> dict:
+    # kwargs predates scenario hashing: `"kwargs": {}` is part of the
+    # historical three-key job form every stored hash was computed over, so
+    # it must stay unconditional (unlike post-hashing fields such as
+    # start_time below).
+    # reprolint: disable=REP201 -- baked into the historical hashed form
     doc = {"name": spec.name, "num_ranks": spec.num_ranks, "kwargs": dict(spec.kwargs)}
     # start_time is serialized only when staggered: zero-start jobs keep the
     # historical three-key form, so every pre-existing scenario hash (and
@@ -190,7 +198,10 @@ class Scenario:
                 if knob not in _OPTIONAL_SIM_KNOBS
                 or getattr(config, knob) != _OPTIONAL_SIM_KNOBS[knob]
             },
-            "placement": self.placement,
+            # placement predates scenario hashing: its unconditional emission
+            # is part of the historical byte form every stored hash was
+            # computed over, so (unlike post-hashing fields) it stays.
+            "placement": self.placement,  # reprolint: disable=REP201 -- historical hashed form
             "jobs": [_job_to_dict(spec) for spec in self.jobs],
         }
 
@@ -335,7 +346,7 @@ class Scenario:
         )
 
     # ---------------------------------------------------------------- execution
-    def run(self, require_completion: bool = True):
+    def run(self, require_completion: bool = True) -> "RunResult":
         """Build the full simulator stack for this scenario and run it.
 
         Returns a :class:`repro.experiments.runner.RunResult`.  This is the
@@ -528,7 +539,7 @@ def synthetic_scenario(
     scale: float = 1.0,
     num_ranks: Optional[int] = None,
     config: Optional[SimulationConfig] = None,
-    **knobs,
+    **knobs: Any,
 ) -> Scenario:
     """Standalone scenario for one synthetic traffic pattern.
 
@@ -561,7 +572,7 @@ def loadcurve_scenario(
     warmup_ns: float = LOADCURVE_WARMUP_NS,
     measurement_ns: float = LOADCURVE_MEASUREMENT_NS,
     config: Optional[SimulationConfig] = None,
-    **knobs,
+    **knobs: Any,
 ) -> Scenario:
     """Steady-state offered-load scenario for one synthetic traffic pattern.
 

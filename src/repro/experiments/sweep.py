@@ -41,7 +41,7 @@ import os
 from dataclasses import asdict, dataclass
 from multiprocessing import Pool
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SimulationConfig, paper_system, small_system, tiny_system
 from repro.experiments.scenario import CACHE_VERSION, Scenario, expand_grid, scenario_hash
@@ -193,7 +193,7 @@ def build_grid(
     routings: Sequence[str],
     placements: Sequence[str] = ("random",),
     seeds: Sequence[int] = (1,),
-    **common,
+    **common: Any,
 ) -> List[SweepPoint]:
     """Cartesian product of the axes as a list of :class:`SweepPoint`.
 
@@ -223,7 +223,7 @@ def _run_scenario(scenario: Scenario) -> SweepResult:
 
 def _open_store(
     store: Optional[Union[ResultStore, str, Path]], cache_dir: Optional[str]
-):
+) -> Tuple[Optional[ResultStore], bool]:
     """Resolve the ``(store, owned)`` pair behind run_sweep's caching arguments.
 
     A path (or a legacy ``cache_dir``) opens a store owned by this call.
@@ -257,7 +257,7 @@ def run_sweep(
     *,
     store: Optional[Union[ResultStore, str, Path]] = None,
     cache_dir: Optional[str] = None,
-    progress=None,
+    progress: Optional[Callable[[int, int, SweepResult], None]] = None,
 ) -> List[SweepResult]:
     """Run every cell of a sweep, in parallel, with optional result caching.
 

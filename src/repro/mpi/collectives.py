@@ -23,7 +23,10 @@ rank program.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.mpi.engine import RankContext, WaitOp
 
 __all__ = [
     "ring_alltoall",
@@ -37,7 +40,7 @@ __all__ = [
 ]
 
 
-def _group_and_index(ctx, group: Optional[Sequence[int]]) -> tuple[List[int], int]:
+def _group_and_index(ctx: "RankContext", group: Optional[Sequence[int]]) -> Tuple[List[int], int]:
     members = list(group) if group is not None else list(range(ctx.job_size))
     if ctx.rank not in members:
         raise ValueError(f"rank {ctx.rank} is not part of the collective group {members}")
@@ -62,7 +65,12 @@ def tree_children(index: int, size: int) -> List[int]:
 
 
 # ---------------------------------------------------------------- collectives
-def ring_alltoall(ctx, size_per_pair: int, group: Optional[Sequence[int]] = None, tag: Optional[int] = None):
+def ring_alltoall(
+    ctx: "RankContext",
+    size_per_pair: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Optional[int] = None,
+) -> Iterator["WaitOp"]:
     """All-to-all personalized exchange via the ring algorithm."""
     members, index = _group_and_index(ctx, group)
     size = len(members)
@@ -78,7 +86,12 @@ def ring_alltoall(ctx, size_per_pair: int, group: Optional[Sequence[int]] = None
         yield ctx.waitall([send, recv])
 
 
-def tree_reduce(ctx, size: int, group: Optional[Sequence[int]] = None, tag: Optional[int] = None):
+def tree_reduce(
+    ctx: "RankContext",
+    size: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Optional[int] = None,
+) -> Iterator["WaitOp"]:
     """Reduce to the first member of ``group`` along a binary tree."""
     members, index = _group_and_index(ctx, group)
     if len(members) <= 1 or size <= 0:
@@ -93,7 +106,12 @@ def tree_reduce(ctx, size: int, group: Optional[Sequence[int]] = None, tag: Opti
         yield ctx.waitall([ctx.isend(members[parent], size, tag=base_tag)])
 
 
-def tree_broadcast(ctx, size: int, group: Optional[Sequence[int]] = None, tag: Optional[int] = None):
+def tree_broadcast(
+    ctx: "RankContext",
+    size: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Optional[int] = None,
+) -> Iterator["WaitOp"]:
     """Broadcast from the first member of ``group`` along a binary tree."""
     members, index = _group_and_index(ctx, group)
     if len(members) <= 1 or size <= 0:
@@ -108,7 +126,9 @@ def tree_broadcast(ctx, size: int, group: Optional[Sequence[int]] = None, tag: O
         yield ctx.waitall(sends)
 
 
-def tree_allreduce(ctx, size: int, group: Optional[Sequence[int]] = None):
+def tree_allreduce(
+    ctx: "RankContext", size: int, group: Optional[Sequence[int]] = None
+) -> Iterator["WaitOp"]:
     """Allreduce: reduce towards the tree root, then broadcast back down."""
     members, _ = _group_and_index(ctx, group)
     if len(members) <= 1 or size <= 0:
@@ -119,12 +139,14 @@ def tree_allreduce(ctx, size: int, group: Optional[Sequence[int]] = None):
     yield from tree_broadcast(ctx, size, group=members, tag=bcast_tag)
 
 
-def barrier(ctx, group: Optional[Sequence[int]] = None):
+def barrier(ctx: "RankContext", group: Optional[Sequence[int]] = None) -> Iterator["WaitOp"]:
     """Synchronize the group (implemented as an 8-byte allreduce)."""
     yield from tree_allreduce(ctx, 8, group=group)
 
 
-def ring_allgather(ctx, size_per_rank: int, group: Optional[Sequence[int]] = None):
+def ring_allgather(
+    ctx: "RankContext", size_per_rank: int, group: Optional[Sequence[int]] = None
+) -> Iterator["WaitOp"]:
     """Allgather via the ring algorithm (each rank forwards what it received)."""
     members, index = _group_and_index(ctx, group)
     size = len(members)

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Iterator, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.workloads.base import Application
 
 from repro.core.events import EventKind
 from repro.network.network import DragonflyNetwork
@@ -38,7 +41,7 @@ from repro.mpi.message import (
 )
 from repro.stats.appstats import ApplicationRecord, IterationRecord
 
-__all__ = ["ComputeOp", "MpiEngine", "MpiJob", "RankContext", "WaitOp"]
+__all__ = ["ComputeOp", "MpiEngine", "MpiJob", "RankContext", "RankOp", "RankProgram", "WaitOp"]
 
 #: Size (bytes) of RTS/CTS control messages on the wire.
 CONTROL_MESSAGE_BYTES = 64
@@ -66,6 +69,13 @@ class WaitOp:
         self.requests = list(requests)
 
 
+#: The two operation kinds a rank program may yield.
+RankOp = Union[ComputeOp, WaitOp]
+
+#: The generator type every rank program conforms to.
+RankProgram = Generator[RankOp, None, None]
+
+
 class MpiJob:
     """One application instance: a set of ranks mapped onto nodes.
 
@@ -80,7 +90,7 @@ class MpiJob:
         job_id: int,
         name: str,
         nodes: Sequence[int],
-        application=None,
+        application: Optional["Application"] = None,
         start_time: float = 0.0,
     ):
         if len(set(nodes)) != len(nodes):
@@ -172,27 +182,27 @@ class RankContext:
         self._collective_seq += 1
         return -(self._collective_seq * 4096)
 
-    def alltoall(self, size_per_pair: int, group: Optional[Sequence[int]] = None):
+    def alltoall(self, size_per_pair: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Ring all-to-all (``yield from`` this inside a program)."""
         return _collectives.ring_alltoall(self, size_per_pair, group=group)
 
-    def allreduce(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+    def allreduce(self, size_bytes: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Binary-tree allreduce (``yield from`` this inside a program)."""
         return _collectives.tree_allreduce(self, size_bytes, group=group)
 
-    def reduce(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+    def reduce(self, size_bytes: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Binary-tree reduce towards the group's first rank."""
         return _collectives.tree_reduce(self, size_bytes, group=group)
 
-    def broadcast(self, size_bytes: int, group: Optional[Sequence[int]] = None):
+    def broadcast(self, size_bytes: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Binary-tree broadcast from the group's first rank."""
         return _collectives.tree_broadcast(self, size_bytes, group=group)
 
-    def allgather(self, size_per_rank: int, group: Optional[Sequence[int]] = None):
+    def allgather(self, size_per_rank: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Ring allgather."""
         return _collectives.ring_allgather(self, size_per_rank, group=group)
 
-    def barrier(self, group: Optional[Sequence[int]] = None):
+    def barrier(self, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Group barrier."""
         return _collectives.barrier(self, group=group)
 
@@ -216,7 +226,7 @@ class _RankState:
 
     __slots__ = ("job", "rank", "context", "generator", "block_start", "pending", "finished")
 
-    def __init__(self, job: MpiJob, rank: int, context: RankContext, generator):
+    def __init__(self, job: MpiJob, rank: int, context: RankContext, generator: RankProgram):
         self.job = job
         self.rank = rank
         self.context = context
@@ -247,7 +257,7 @@ class MpiEngine:
         self,
         name: str,
         nodes: Sequence[int],
-        application=None,
+        application: Optional["Application"] = None,
         start_time: float = 0.0,
     ) -> MpiJob:
         """Register a job occupying ``nodes`` (rank i runs on nodes[i]).
@@ -322,7 +332,7 @@ class MpiEngine:
         )
 
     # -------------------------------------------------------- program driver
-    def _advance(self, state: _RankState, value) -> None:
+    def _advance(self, state: _RankState, value: Optional[object]) -> None:
         """Resume a rank program until it blocks, computes or finishes."""
         while True:
             try:

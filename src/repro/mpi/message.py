@@ -116,7 +116,7 @@ class MailBox:
 
     __slots__ = ("posted", "unexpected")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.posted: List[RecvRequest] = []
         self.unexpected: List[tuple] = []  # (Envelope, action callable)
 
@@ -137,7 +137,7 @@ class MailBox:
                 return request
         return None
 
-    def store_unexpected(self, envelope: Envelope, action) -> None:
+    def store_unexpected(self, envelope: Envelope, action: Callable) -> None:
         """Queue an arrival that found no posted receive."""
         self.unexpected.append((envelope, action))
 

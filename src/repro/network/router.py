@@ -142,6 +142,7 @@ class Router:
         return self.output_occupancy(port) * self._serialization_ns
 
     # ------------------------------------------------------------- receive
+    # reprolint: hot
     def receive_packet(self, in_port: int, packet: Packet) -> None:
         """A packet arrived on ``in_port`` (called by the upstream link)."""
         if packet.trace is not None:
@@ -155,6 +156,7 @@ class Router:
             self._route_head(in_port, vc)
 
     # -------------------------------------------------------------- routing
+    # reprolint: hot
     def _route_head(self, in_port: int, vc: int) -> None:
         """Compute the output port for the new head packet of (in_port, vc)."""
         packet = self.in_buffers[in_port].head(vc)
@@ -175,6 +177,7 @@ class Router:
         self._try_output(out_port)
 
     # ---------------------------------------------------------- arbitration
+    # reprolint: hot
     def _try_output(self, out_port: int) -> None:
         """Grant the output port to a waiting head packet if possible."""
         link = self.out_links[out_port]
@@ -195,6 +198,7 @@ class Router:
             requests.rotate(-1)
         return
 
+    # reprolint: hot
     def _grant(self, in_port: int, vc: int, out_port: int, packet: Packet) -> None:
         """Move a head packet from its input buffer onto the output link."""
         popped = self.in_buffers[in_port].pop(vc)
@@ -205,9 +209,10 @@ class Router:
         # t=0), so test against None rather than falsiness.
         request_time = packet.request_time
         stall = self.sim.now - request_time if request_time is not None else 0.0
-        if self.stats is not None:
-            self.stats.record_port_stall(self, out_port, stall, packet.app_id)
-            self.stats.record_hop(self, in_port, out_port, packet)
+        stats = self.stats
+        if stats is not None:
+            stats.record_port_stall(self, out_port, stall, packet.app_id)
+            stats.record_hop(self, in_port, out_port, packet)
 
         packet.vc = packet.next_vc
         packet.hop_count += 1

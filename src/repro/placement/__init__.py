@@ -5,6 +5,8 @@ placement is provided as the classic interference-mitigation baseline used in
 the related-work discussion and exercised by the placement ablation benchmark.
 """
 
+from typing import Any
+
 from repro.placement.base import Placement
 from repro.placement.random_placement import RandomPlacement
 from repro.placement.contiguous import ContiguousPlacement
@@ -28,7 +30,7 @@ _POLICIES = {
 PLACEMENTS = tuple(sorted(_POLICIES))
 
 
-def create_placement(name: str, **kwargs) -> Placement:
+def create_placement(name: str, **kwargs: Any) -> Placement:
     """Instantiate a placement policy by name (``"random"`` or ``"contiguous"``)."""
     key = name.strip().lower()
     if key not in _POLICIES:

@@ -69,7 +69,10 @@ only — warmup transients are excluded from every one of them:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.runner import RunResult
 
 __all__ = ["METRIC_SEP", "flatten_run", "join_metric", "split_metric"]
 
@@ -93,7 +96,7 @@ def split_metric(key: str) -> Tuple[str, Optional[str]]:
     return (metric, app) if sep else (key, None)
 
 
-def flatten_run(result) -> Dict[str, Number]:
+def flatten_run(result: "RunResult") -> Dict[str, Number]:
     """Reduce a :class:`~repro.experiments.runner.RunResult` to flat metrics.
 
     The returned dict is JSON-serializable, contains only

@@ -40,7 +40,10 @@ import sqlite3
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.runner import RunResult
 
 import numpy as np
 
@@ -57,7 +60,7 @@ __all__ = [
 ]
 
 
-def _comparable_key(run: "StoredResult"):
+def _comparable_key(run: "StoredResult") -> Tuple[str, str, str]:
     """Config axes two *different* experiment families must share to be
     compared against each other: message-volume scale(s), placement, system
     shape and simulation knobs (job sets legitimately differ, seeds are the
@@ -235,7 +238,7 @@ class StoredResult:
     wall_seconds: float
     created_at: str
 
-    def metric(self, metric: str, app: Optional[str] = None):
+    def metric(self, metric: str, app: Optional[str] = None) -> Optional[float]:
         """Value of ``metric`` (optionally per-application), or ``None``."""
         return self.metrics.get(join_metric(metric, app))
 
@@ -358,7 +361,7 @@ class ResultStore:
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __len__(self) -> int:
@@ -386,6 +389,9 @@ class ResultStore:
         """
         key = scenario_hash(scenario)
         canonical = _canonical(scenario.to_dict())
+        # Provenance metadata only: the creation timestamp is never hashed,
+        # never keyed on, and never fed back into a simulation.
+        # reprolint: disable=REP102 -- wall-clock provenance timestamp
         created = datetime.now(timezone.utc).isoformat(timespec="seconds")
         run_row = (
             key,
@@ -428,7 +434,7 @@ class ResultStore:
             self._conn.executemany("INSERT OR IGNORE INTO metrics VALUES (?,?,?,?)", rows)
         return inserted
 
-    def record_run(self, scenario: Scenario, result) -> bool:
+    def record_run(self, scenario: Scenario, result: "RunResult") -> bool:
         """Flatten a :class:`~repro.experiments.runner.RunResult` and record it."""
         from repro.results.schema import flatten_run
 
@@ -477,6 +483,7 @@ class ResultStore:
             with self._conn:
                 self._conn.execute(
                     "INSERT OR IGNORE INTO meta(key, value) VALUES (?, ?)",
+                    # reprolint: disable=REP102 -- wall-clock provenance timestamp
                     (marker, datetime.now(timezone.utc).isoformat(timespec="seconds")),
                 )
         return imported
@@ -569,7 +576,7 @@ class ResultStore:
             ]
         return results
 
-    def runs_named(self, base: str, **filters) -> List[StoredResult]:
+    def runs_named(self, base: str, **filters: Any) -> List[StoredResult]:
         """Runs named exactly ``base`` or a grid expansion ``base[...]``.
 
         :func:`~repro.experiments.scenario.expand_grid` renames expanded
@@ -583,7 +590,7 @@ class ResultStore:
             if run.name == base or run.name.startswith(base + "[")
         ]
 
-    def rows(self, metric: Optional[str] = None, **filters) -> List[dict]:
+    def rows(self, metric: Optional[str] = None, **filters: Any) -> List[dict]:
         """Flat result rows: one dict per (run, application, metric).
 
         Each row carries the run's identity axes plus ``app`` (None for
@@ -640,7 +647,7 @@ class ResultStore:
             "family", "jobs", "routing", "placement", "scale", "start_times",
             "job_kwargs", "offered_loads", "window", "app",
         ),
-        **filters,
+        **filters: Any,
     ) -> List[dict]:
         """Aggregate one metric across seeds (or any axis left out of ``group_by``).
 

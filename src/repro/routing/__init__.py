@@ -16,6 +16,8 @@ Six algorithms are provided, matching Section II-B of the paper:
 Use :func:`create_routing` to instantiate one by name.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.minimal import MinimalRouting
 from repro.routing.valiant import ValiantRouting
@@ -23,6 +25,12 @@ from repro.routing.ugal import UgalGRouting, UgalNRouting
 from repro.routing.par import ParRouting
 from repro.routing.qadaptive import QAdaptiveRouting
 from repro.routing.qtable import QTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    import numpy as np
+
+    from repro.config import RoutingConfig
+    from repro.network.network import DragonflyNetwork
 
 __all__ = [
     "ALGORITHMS",
@@ -76,7 +84,12 @@ def resolve_algorithm(name: str) -> str:
     return key
 
 
-def create_routing(name, network, config, rng) -> RoutingAlgorithm:
+def create_routing(
+    name: str,
+    network: "DragonflyNetwork",
+    config: "RoutingConfig",
+    rng: "np.random.Generator",
+) -> RoutingAlgorithm:
     """Instantiate the routing algorithm ``name`` for ``network``.
 
     Parameters

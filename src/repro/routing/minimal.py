@@ -8,7 +8,10 @@ those links.  It is included as a baseline for the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.network.router import Router
 
 from repro.network.packet import Packet, PathClass
 from repro.routing.base import RoutingAlgorithm
@@ -21,7 +24,7 @@ class MinimalRouting(RoutingAlgorithm):
 
     name = "minimal"
 
-    def route(self, router, packet: Packet) -> Tuple[int, int]:
+    def route(self, router: "Router", packet: Packet) -> Tuple[int, int]:
         if packet.path_class == PathClass.UNDECIDED:
             packet.path_class = PathClass.MINIMAL
             packet.minimal_decision_final = True

@@ -9,7 +9,10 @@ path from that point on (Jiang, Kim, Dally — ISCA'09).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.network.router import Router
 
 from repro.network.packet import Packet, PathClass
 from repro.routing.base import RoutingAlgorithm
@@ -23,7 +26,7 @@ class ParRouting(UgalNRouting):
 
     name = "par"
 
-    def decide_at_source(self, router, packet: Packet) -> None:
+    def decide_at_source(self, router: "Router", packet: Packet) -> None:
         super().decide_at_source(router, packet)
         # Unlike plain UGAL, a minimal decision stays revisable while the
         # packet remains in its source group.
@@ -31,7 +34,7 @@ class ParRouting(UgalNRouting):
             dst_group = self.topology.group_of_node_table[packet.dst_node]
             packet.minimal_decision_final = dst_group == router.group
 
-    def _maybe_revise(self, router, packet: Packet) -> None:
+    def _maybe_revise(self, router: "Router", packet: Packet) -> None:
         """Re-evaluate a revisable minimal decision at a source-group router."""
         src_group = self.topology.group_of_node_table[packet.src_node]
         if router.group != src_group:
@@ -53,7 +56,7 @@ class ParRouting(UgalNRouting):
         # PAR allows a single revision: whatever was decided here is final.
         packet.minimal_decision_final = True
 
-    def route(self, router, packet: Packet) -> Tuple[int, int]:
+    def route(self, router: "Router", packet: Packet) -> Tuple[int, int]:
         if packet.path_class == PathClass.UNDECIDED:
             self.decide_at_source(router, packet)
         elif packet.path_class == PathClass.MINIMAL and not packet.minimal_decision_final:

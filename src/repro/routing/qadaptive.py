@@ -24,7 +24,7 @@ congestion anywhere along the path) instead of local queue occupancy only.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class QAdaptiveRouting(RoutingAlgorithm):
             self._tables[router.router_id] = table
         return table
 
-    def _make_initializer(self, router: "Router"):
+    def _make_initializer(self, router: "Router") -> Callable[[int, DestKey], float]:
         """Optimistic zero-load initial estimates for a router's table."""
         topo = self.topology
         config = self.network.config.system

@@ -14,7 +14,7 @@ setup where Q-adaptive starts "without any pre-trained information".
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Tuple
 
 __all__ = ["QTable"]
 
@@ -63,7 +63,7 @@ class QTable:
         self.updates += 1
         return new
 
-    def best(self, ports_and_delays, dest: DestKey) -> Tuple[int, float]:
+    def best(self, ports_and_delays: Iterable[Tuple[int, float]], dest: DestKey) -> Tuple[int, float]:
         """Port with the smallest (queue delay + Q) among ``ports_and_delays``.
 
         ``ports_and_delays`` is an iterable of ``(port, queue_delay_ns)``.

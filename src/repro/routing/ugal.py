@@ -16,7 +16,10 @@ The paper configures both with zero bias towards the minimal path.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.network.router import Router
 
 from repro.network.packet import Packet, PathClass
 from repro.routing.base import RoutingAlgorithm
@@ -31,7 +34,7 @@ class _UgalBase(RoutingAlgorithm):
     #: group (UGALn) or goes straight for the exit gateway (UGALg).
     visit_intermediate_router = False
 
-    def decide_at_source(self, router, packet: Packet) -> None:
+    def decide_at_source(self, router: "Router", packet: Packet) -> None:
         """Make the one-time minimal/non-minimal decision for ``packet``."""
         topo = self.topology
         dst_group = topo.group_of_node_table[packet.dst_node]
@@ -63,7 +66,7 @@ class _UgalBase(RoutingAlgorithm):
                 packet.intermediate_router = self.pick_intermediate_router(best_group)
         packet.minimal_decision_final = True
 
-    def route(self, router, packet: Packet) -> Tuple[int, int]:
+    def route(self, router: "Router", packet: Packet) -> Tuple[int, int]:
         if packet.path_class == PathClass.UNDECIDED:
             self.decide_at_source(router, packet)
         port = self.forward_port(router, packet)

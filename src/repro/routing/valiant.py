@@ -7,7 +7,10 @@ the non-minimal leg that the UGAL family and Q-adaptive choose adaptively.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.network.router import Router
 
 from repro.network.packet import Packet, PathClass
 from repro.routing.base import RoutingAlgorithm
@@ -20,7 +23,7 @@ class ValiantRouting(RoutingAlgorithm):
 
     name = "valiant"
 
-    def route(self, router, packet: Packet) -> Tuple[int, int]:
+    def route(self, router: "Router", packet: Packet) -> Tuple[int, int]:
         if packet.path_class == PathClass.UNDECIDED:
             dst_group = self.topology.group_of_node(packet.dst_node)
             if dst_group == router.group:

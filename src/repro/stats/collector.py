@@ -130,6 +130,7 @@ class StatsCollector:
         return self.window_end_ns is None or time <= self.window_end_ns
 
     # -------------------------------------------------------- network hooks
+    # reprolint: hot
     def record_packet_injected(self, nic: "Nic", packet: Packet) -> None:
         """A packet entered the network at ``nic``."""
         self.total_packets_injected += 1
@@ -141,26 +142,29 @@ class StatsCollector:
             self.measured_bytes_injected += packet.size_bytes
         self._app_series(self.injected_bytes, packet.app_id).add(now, packet.size_bytes)
 
+    # reprolint: hot
     def record_packet_ejected(self, nic: "Nic", packet: Packet) -> None:
         """A packet reached its destination node."""
+        size_bytes = packet.size_bytes
+        app_id = packet.app_id
         self.total_packets_ejected += 1
-        self.total_bytes_ejected += packet.size_bytes
+        self.total_bytes_ejected += size_bytes
         now = self.sim.now
         if self.windowed and self.in_measurement(now):
             self.measured_packets_ejected += 1
-            self.measured_bytes_ejected += packet.size_bytes
-        self._app_series(self.ejected_bytes, packet.app_id).add(now, packet.size_bytes)
-        self.system_ejected_bytes.add(now, packet.size_bytes)
+            self.measured_bytes_ejected += size_bytes
+        self._app_series(self.ejected_bytes, app_id).add(now, size_bytes)
+        self.system_ejected_bytes.add(now, size_bytes)
         latency = packet.latency
         if latency is not None:
-            self._app_series(self.latency_series, packet.app_id).add(now, latency)
+            self._app_series(self.latency_series, app_id).add(now, latency)
         if self.config.record_packets and packet.inject_time is not None:
             self.packet_records.append(
                 PacketRecord(
-                    app_id=packet.app_id,
+                    app_id=app_id,
                     src_node=packet.src_node,
                     dst_node=packet.dst_node,
-                    size_bytes=packet.size_bytes,
+                    size_bytes=size_bytes,
                     inject_time=packet.inject_time,
                     eject_time=packet.eject_time if packet.eject_time is not None else now,
                     hops=packet.hop_count,
@@ -172,6 +176,7 @@ class StatsCollector:
         log = self.message_log.setdefault(message.app_id, [])
         log.append((message.create_time, message.deliver_time, message.size_bytes))
 
+    # reprolint: hot
     def record_port_stall(self, router: "Router", port: int, stall_ns: float, app_id: int) -> None:
         """Charge head-of-queue blocking time to a router output port."""
         if stall_ns <= 0:
@@ -192,6 +197,7 @@ class StatsCollector:
         # Per-hop recording is intentionally cheap: detailed link traffic is
         # recorded by the link itself in record_link_traffic().
 
+    # reprolint: hot
     def record_link_traffic(self, link: Link, packet: Packet) -> None:
         """A packet was serialized onto ``link``."""
         if link.link_id is None:

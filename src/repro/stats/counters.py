@@ -24,7 +24,7 @@ class PortStallCounter:
     traced back to the application causing or suffering the stall.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._by_port: Dict[PortKey, float] = defaultdict(float)
         self._by_port_app: Dict[Tuple[int, int, int], float] = defaultdict(float)
         self._port_kind: Dict[PortKey, LinkKind] = {}
@@ -71,7 +71,7 @@ class PortStallCounter:
 class LinkTrafficCounter:
     """Bytes carried per directed link, total and per application."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._bytes: Dict[LinkKey, int] = defaultdict(int)
         self._bytes_app: Dict[Tuple[LinkKey, int], int] = defaultdict(int)
         self._kind: Dict[LinkKey, LinkKind] = {}

@@ -10,7 +10,10 @@ which back the Table I metrics and let tests validate the measured numbers.
 from __future__ import annotations
 
 import abc
-from typing import Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 import numpy as np
 
@@ -128,7 +131,7 @@ class Application(abc.ABC):
 
     # ------------------------------------------------------------ interface
     @abc.abstractmethod
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         """Rank program generator (yield MPI operations for ``ctx.rank``)."""
 
     @abc.abstractmethod

@@ -10,7 +10,10 @@ interference it experiences.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 from repro.workloads.base import Application
 
@@ -38,7 +41,7 @@ class CosmoFlow(Application):
         self.allreduce_bytes = allreduce_bytes
         self.compute_ns = float(compute_ns)
 
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         size = self.scaled(self.allreduce_bytes)
         for iteration in range(self.iterations):
             ctx.begin_iteration(iteration)

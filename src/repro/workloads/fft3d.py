@@ -11,7 +11,10 @@ interference from burstier applications in the paper's pairwise study.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 from repro.workloads.base import Application, balanced_grid, grid_coords
 
@@ -50,7 +53,7 @@ class FFT3D(Application):
         _, j = grid_coords(rank, self.shape)
         return [i * cols + j for i in range(rows)]
 
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         per_pair = self.scaled(self.bytes_per_pair)
         row = self._row_group(ctx.rank)
         col = self._col_group(ctx.rank)

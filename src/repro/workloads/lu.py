@@ -10,7 +10,10 @@ long intrinsic communication latency despite its small messages.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
 
@@ -39,7 +42,7 @@ class LU(Application):
         self.compute_ns = float(compute_ns)
         self.shape: List[int] = balanced_grid(num_ranks, 2)
 
-    def _neighbors(self, rank: int):
+    def _neighbors(self, rank: int) -> Tuple[List[int], List[int]]:
         """(upstream, downstream) neighbour ranks of ``rank`` on the 2-D grid."""
         rows, cols = self.shape
         i, j = grid_coords(rank, self.shape)
@@ -55,7 +58,7 @@ class LU(Application):
             downstream.append(grid_rank((i, j + 1), self.shape))
         return upstream, downstream
 
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         message = self.scaled(self.message_bytes)
         upstream, downstream = self._neighbors(ctx.rank)
         for sweep in range(self.iterations):

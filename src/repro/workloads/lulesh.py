@@ -10,7 +10,10 @@ along the grid diagonals and a tiny time-step allreduce.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
 
@@ -44,7 +47,7 @@ class LULESH(Application):
         self.shape: List[int] = balanced_grid(num_ranks, 3)
 
     # ----------------------------------------------------------- structure
-    def _stencil_neighbors(self, rank: int):
+    def _stencil_neighbors(self, rank: int) -> List[Tuple[int, str, int]]:
         """26-point neighbours of ``rank``: (neighbour, kind, tag_offset)."""
         coords = grid_coords(rank, self.shape)
         neighbors = []
@@ -63,7 +66,7 @@ class LULESH(Application):
                     neighbors.append((grid_rank(target, self.shape), kind, offset))
         return neighbors
 
-    def _sweep_neighbors(self, rank: int):
+    def _sweep_neighbors(self, rank: int) -> Tuple[List[int], List[int]]:
         """Upstream / downstream partners of the sweep phase."""
         coords = grid_coords(rank, self.shape)
         upstream, downstream = [], []
@@ -87,7 +90,7 @@ class LULESH(Application):
         return self.scaled(sizes[kind])
 
     # ------------------------------------------------------------- program
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         stencil = self._stencil_neighbors(ctx.rank)
         upstream, downstream = self._sweep_neighbors(ctx.rank)
         sweep_size = self.scaled(self.sweep_bytes)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import inspect
 from functools import lru_cache
-from typing import Dict, FrozenSet, Optional, Type
+from typing import Any, Dict, FrozenSet, Optional, Type
 
 from repro.workloads.base import Application
 from repro.workloads.cosmoflow import CosmoFlow
@@ -122,7 +122,7 @@ def application_kwargs(name: str) -> Optional[FrozenSet[str]]:
 
 
 @lru_cache(maxsize=None)
-def application_kwarg_default(name: str, kwarg: str):
+def application_kwarg_default(name: str, kwarg: str) -> Any:
     """Constructor default of ``kwarg`` for application ``name``.
 
     Follows ``**kwargs`` through the MRO like :func:`application_kwargs`.
@@ -148,7 +148,7 @@ def application_kwarg_default(name: str, kwarg: str):
     return inspect.Parameter.empty
 
 
-def create_application(name: str, num_ranks: int, **kwargs) -> Application:
+def create_application(name: str, num_ranks: int, **kwargs: Any) -> Application:
     """Instantiate the application ``name`` with ``num_ranks`` ranks.
 
     ``kwargs`` are passed through to the application constructor (message

@@ -10,7 +10,10 @@ high-dimensional stencils the most aggressive applications in the study.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 from repro.workloads.base import Application, balanced_grid, neighbors_nd
 
@@ -54,7 +57,7 @@ class NDStencil(Application):
         return sum(0 if extent <= 1 else (1 if extent == 2 else 2) for extent in self.shape)
 
     # ------------------------------------------------------------- program
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         message = self.scaled(self.message_bytes)
         neighbors = self.neighbors_of(ctx.rank)
         for iteration in range(self.iterations):

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import math
 import zlib
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 import numpy as np
 
@@ -72,7 +75,7 @@ class ContinuousInjection:
         self.pattern = pattern
         self.offered_load = float(offered_load)
 
-    def period_ns(self, ctx) -> float:
+    def period_ns(self, ctx: "RankContext") -> float:
         """Injection period (ns per iteration) realizing the offered load.
 
         Scaled by the pattern's long-run :meth:`SyntheticPattern.send_fraction`
@@ -84,7 +87,7 @@ class ContinuousInjection:
         period = message / (self.offered_load * system.link_bandwidth_bytes_per_ns)
         return period * self.pattern.send_fraction()
 
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         pattern = self.pattern
         message = pattern.scaled(pattern.message_bytes)
         threshold = ctx.engine.config.eager_threshold_bytes
@@ -196,12 +199,12 @@ class SyntheticPattern(Application):
         return cached
 
     # -------------------------------------------------------------- program
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         if self.offered_load is not None:
             return ContinuousInjection(self, self.offered_load).program(ctx)
         return self._fixed_program(ctx)
 
-    def _fixed_program(self, ctx) -> Iterator:
+    def _fixed_program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         message = self.scaled(self.message_bytes)
         for iteration in range(self.iterations):
             ctx.begin_iteration(iteration)
@@ -255,7 +258,7 @@ class Permutation(SyntheticPattern):
     name = "permutation"
     pattern = "permutation"
 
-    def __init__(self, num_ranks: int, **kwargs):
+    def __init__(self, num_ranks: int, **kwargs: Any):
         super().__init__(num_ranks, **kwargs)
         # Iteration-independent: the pairing is drawn once from the seed,
         # then fixed points are cycled among themselves (a lone fixed point
@@ -287,7 +290,7 @@ class Shift(SyntheticPattern):
     name = "shift"
     pattern = "shift"
 
-    def __init__(self, num_ranks: int, shift: Optional[int] = None, **kwargs):
+    def __init__(self, num_ranks: int, shift: Optional[int] = None, **kwargs: Any):
         super().__init__(num_ranks, **kwargs)
         if shift is not None and int(shift) % max(num_ranks, 1) == 0:
             raise ValueError("a fixed shift must be non-zero modulo the rank count")
@@ -368,7 +371,7 @@ class Hotspot(SyntheticPattern):
         num_ranks: int,
         hot_fraction: float = 0.25,
         num_hot: int = 1,
-        **kwargs,
+        **kwargs: Any,
     ):
         super().__init__(num_ranks, **kwargs)
         if not 0.0 < hot_fraction <= 1.0:
@@ -414,7 +417,7 @@ class Bursty(SyntheticPattern):
         num_ranks: int,
         duty_cycle: float = 0.5,
         burst_length: int = 4,
-        **kwargs,
+        **kwargs: Any,
     ):
         super().__init__(num_ranks, **kwargs)
         if not 0.0 < duty_cycle <= 1.0:

@@ -10,7 +10,10 @@ while guaranteeing each rank also receives exactly one message per iteration.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
 
 import numpy as np
 
@@ -49,7 +52,7 @@ class UniformRandom(Application):
         rng = np.random.default_rng((self.seed + 1) * 1_000_003 + iteration)
         return rng.permutation(self.num_ranks)
 
-    def program(self, ctx) -> Iterator:
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         message = self.scaled(self.message_bytes)
         for iteration in range(self.iterations):
             ctx.begin_iteration(iteration)

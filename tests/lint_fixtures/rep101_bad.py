@@ -1,0 +1,26 @@
+# lint-as: src/repro/fixtures/rep101_bad.py
+"""Known-bad determinism fixture: every RNG here escapes the scenario seed."""
+
+import random
+from random import shuffle  # expect: REP101
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: REP101
+
+
+def global_numpy_state(values):
+    np.random.shuffle(values)  # expect: REP101
+    return np.random.random()  # expect: REP101
+
+
+def module_level_random():
+    return random.random()  # expect: REP101
+
+
+def seeded_is_fine(seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random() + local.random()

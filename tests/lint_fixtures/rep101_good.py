@@ -1,0 +1,18 @@
+# lint-as: src/repro/fixtures/rep101_good.py
+"""Known-good determinism fixture: all randomness derives from a seed."""
+
+import random
+
+import numpy as np
+
+
+def scenario_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng((seed + 1) * 1_000_003)
+
+
+def stdlib_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def draw(seed: int) -> float:
+    return scenario_rng(seed).random() + stdlib_rng(seed).random()

@@ -1,0 +1,15 @@
+# lint-as: src/repro/fixtures/rep102_bad.py
+"""Known-bad wall-clock fixture: real time read inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.created = time.time()  # expect: REP102
+    event.day = datetime.now()  # expect: REP102
+    return event
+
+
+def wall_clock_outside_runner():
+    return time.perf_counter()  # expect: REP102

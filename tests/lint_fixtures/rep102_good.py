@@ -1,0 +1,14 @@
+# lint-as: src/repro/experiments/runner.py
+"""Known-good wall-clock fixture: perf_counter in runner wall-time code.
+
+Linted under the runner's path (see the lint-as directive): measuring how
+long the *process* ran is the one legitimate wall-clock read in sim code.
+"""
+
+import time
+
+
+def measure(run):
+    started = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - started

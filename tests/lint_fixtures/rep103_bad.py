@@ -1,0 +1,18 @@
+# lint-as: src/repro/fixtures/rep103_bad.py
+"""Known-bad set-iteration fixture: hash-randomised order leaks out."""
+
+
+def schedule_jobs(jobs, calendar):
+    for job in set(jobs):  # expect: REP103
+        calendar.append(job)
+
+
+def literal_and_comprehension(nodes):
+    for node in {1, 5, 3}:  # expect: REP103
+        nodes.append(node)
+    return [n for n in {node.id for node in nodes}]  # expect: REP103
+
+
+def set_algebra(ranks, busy):
+    for rank in set(ranks) - busy:  # expect: REP103
+        yield rank

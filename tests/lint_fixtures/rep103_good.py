@@ -1,0 +1,12 @@
+# lint-as: src/repro/fixtures/rep103_good.py
+"""Known-good set fixture: membership tests and sorted iteration are fine."""
+
+
+def schedule_jobs(jobs, calendar):
+    for job in sorted(set(jobs)):
+        calendar.append(job)
+
+
+def membership_only(ranks, busy):
+    free = set(ranks) - set(busy)
+    return [rank for rank in ranks if rank in free]

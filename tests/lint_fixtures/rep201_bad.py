@@ -1,0 +1,34 @@
+# lint-as: src/repro/fixtures/rep201_bad.py
+"""Known-bad hash-stability fixture: serializers that orphan stored hashes."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    ranks: int
+    scale: float = 1.0
+    start_time: float = 0.0
+    knobs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "ranks": self.ranks,
+            # A defaulted field written unconditionally: every scenario
+            # serialized before `scale` existed changes byte form.
+            "scale": self.scale,  # expect: REP201
+        }
+        if self.start_time != 1.0:  # wrong constant: the default is 0.0
+            doc["start_time"] = self.start_time  # expect: REP202
+        return doc
+
+
+def spec_to_dict(spec: Spec) -> dict:
+    doc = {"name": spec.name, "ranks": spec.ranks}
+    verbose = True
+    if verbose:  # the guard never inspects the field
+        doc["knobs"] = dict(spec.knobs)  # expect: REP202
+    doc["scale"] = spec.scale  # expect: REP201
+    return doc

@@ -1,0 +1,38 @@
+# lint-as: src/repro/fixtures/rep201_good.py
+"""Known-good hash-stability fixture: defaulted fields guarded correctly."""
+
+from dataclasses import dataclass, field, fields
+
+#: Optional knobs and the default each is omitted at (the guarded-
+#: comprehension pattern scenario.py uses for the sim section).
+_OPTIONAL = {"scale": 1.0}
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    ranks: int
+    scale: float = 1.0
+    start_time: float = 0.0
+    knobs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,  # required fields serialize unconditionally
+            "ranks": self.ranks,
+        }
+        if self.scale != 1.0:
+            doc["scale"] = self.scale
+        if self.start_time != 0.0:
+            doc["start_time"] = self.start_time
+        if self.knobs:
+            doc["knobs"] = dict(self.knobs)
+        return doc
+
+
+def spec_to_dict(spec: Spec) -> dict:
+    return {
+        f.name: getattr(spec, f.name)
+        for f in fields(Spec)
+        if f.name not in _OPTIONAL or getattr(spec, f.name) != _OPTIONAL[f.name]
+    }

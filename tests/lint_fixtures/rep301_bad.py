@@ -1,0 +1,28 @@
+# lint-as: src/repro/fixtures/rep301_bad.py
+"""Known-bad unit-hygiene fixture: suffixes disagree across an operation."""
+
+
+def total_delay(startup_ns: float, timeout_s: float) -> float:
+    return startup_ns + timeout_s  # expect: REP301
+
+
+def over_budget(elapsed_ns: float, budget_ms: float) -> bool:
+    return elapsed_ns > budget_ms  # expect: REP301
+
+
+def bandwidth_mixup(link_gbps: float, drain_bytes_per_ns: float) -> float:
+    # Same dimension (bandwidth), different units: off by a factor of 8e9.
+    return link_gbps - drain_bytes_per_ns  # expect: REP301
+
+
+def dimension_mixup(payload_bytes: int, window_ns: float) -> float:
+    return payload_bytes + window_ns  # expect: REP301
+
+
+def accumulate(total_ns: float, extra_s: float) -> float:
+    total_ns += extra_s  # expect: REP301
+    return total_ns
+
+
+def keyword_mixup(config, timeout_s: float):
+    return config.with_window(warmup_ns=timeout_s)  # expect: REP302

@@ -1,0 +1,21 @@
+# lint-as: src/repro/fixtures/rep301_good.py
+"""Known-good unit fixture: matching suffixes, explicit conversions."""
+
+NS_PER_S = 1e9
+
+
+def total_delay(startup_ns: float, timeout_s: float) -> float:
+    timeout_ns = timeout_s * NS_PER_S  # conversion via multiply is the idiom
+    return startup_ns + timeout_ns
+
+
+def window(warmup_ns: float, measurement_ns: float) -> float:
+    return warmup_ns + measurement_ns
+
+
+def throughput(payload_bytes: int, elapsed_ns: float) -> float:
+    return payload_bytes / elapsed_ns  # division *combines* units: fine
+
+
+def pass_through(config, warmup_ns: float):
+    return config.with_window(warmup_ns=warmup_ns)

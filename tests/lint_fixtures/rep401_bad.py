@@ -1,0 +1,26 @@
+# lint-as: src/repro/fixtures/rep401_bad.py
+"""Known-bad hot-path fixture: per-event costs inside a hot block."""
+
+
+class Collector:
+    # reprolint: hot
+    def on_event(self, packet) -> None:
+        # Deep chain read twice: two dict lookups per read, per event.
+        self.series.totals.append(packet.size)
+        if self.series.totals:  # expect: REP401
+            self.count += 1
+        # Closure allocated per event.
+        def finish():  # expect: REP402
+            return packet
+
+        self.pending.append(finish)
+        # Comprehension allocates a fresh list per event.
+        self.sizes = [p.size for p in self.queue]  # expect: REP403
+        total = sum(p.size for p in self.queue)  # expect: REP403
+        return total
+
+
+class Cold:
+    def summary(self):
+        # Unmarked code: the same patterns are fine outside hot blocks.
+        return [p.size for p in getattr(self, "pending", [])]

@@ -1,0 +1,15 @@
+# lint-as: src/repro/fixtures/rep401_good.py
+"""Known-good hot-path fixture: chains hoisted, no per-event allocation."""
+
+
+class Collector:
+    # reprolint: hot
+    def on_event(self, packet) -> None:
+        totals = self.series.totals  # chain bound to a local once
+        totals.append(packet.size)
+        if totals:
+            self.count += 1
+
+    def summary(self):
+        # Cold code may use comprehensions and closures freely.
+        return [p.size for p in self.pending]

@@ -1,0 +1,25 @@
+# lint-as: src/repro/fixtures/suppressions.py
+"""Suppression fixture: trailing and standalone disable comments.
+
+Only the *undisabled* line should be reported; the harness checks that the
+three suppressed calls produce nothing.
+"""
+
+import numpy as np
+
+
+def trailing_disable():
+    return np.random.default_rng()  # reprolint: disable=REP101 -- fixture
+
+
+def standalone_disable_covers_next_line():
+    # reprolint: disable=REP101 -- fixture: applies to the next code line
+    return np.random.default_rng()
+
+
+def disable_all():
+    return np.random.default_rng()  # reprolint: disable=all
+
+
+def wrong_code_does_not_suppress():
+    return np.random.default_rng()  # reprolint: disable=REP999  # expect: REP101

@@ -1,0 +1,6 @@
+"""Repository tooling (static analysis, link checking).
+
+``tools`` is a plain package so the linters are importable and runnable from
+the repository root: ``python -m tools.reprolint src tools examples``.
+Nothing under here is part of the ``repro`` library API.
+"""

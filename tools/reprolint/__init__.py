@@ -1,0 +1,55 @@
+"""reprolint — domain-specific static analysis for the Dragonfly repro.
+
+The simulator's headline claims rest on invariants that generic linters do
+not know about:
+
+* **determinism** — bit-identical reruns require every random stream to be
+  seeded from the scenario and forbid wall-clock reads and set-iteration
+  order inside simulation code (rule family REP1xx);
+* **hash stability** — ``Scenario``/``AppSpec``/``SimulationConfig``
+  serializers must emit defaulted fields only behind a non-default guard, or
+  every stored ``scenario_hash`` silently changes (rule family REP2xx);
+* **unit hygiene** — quantities carry their unit in the identifier
+  (``warmup_ns``, ``link_bandwidth_gbps``); mixing suffixes in arithmetic is
+  a conversion bug waiting to happen (rule family REP3xx);
+* **hot-path discipline** — blocks marked ``# reprolint: hot`` are the
+  per-event code whose per-call cost the fast-path work (PR 1) paid real
+  effort to minimise; repeated attribute chains, closures and comprehension
+  allocations there are performance regressions (rule family REP4xx).
+
+Usage::
+
+    python -m tools.reprolint src tools examples
+    python -m tools.reprolint --format json src
+    python -m tools.reprolint --list-rules
+
+Suppress a finding with an inline comment naming the rule code::
+
+    doc["placement"] = self.placement  # reprolint: disable=REP201 -- baked
+    # reprolint: disable=REP102 -- provenance timestamp, never hashed
+    created = datetime.now(timezone.utc)
+
+A disable comment on its own line applies to the next code line; a trailing
+comment applies to its own line.  See ``docs/static-analysis.md`` for the
+full rule catalogue.
+"""
+
+from tools.reprolint.core import (
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    all_rules,
+    lint_paths,
+    lint_sources,
+    registered_checkers,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "ProjectIndex",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "registered_checkers",
+]

@@ -1,0 +1,72 @@
+"""CLI: ``python -m tools.reprolint [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error — so the CI lint job and
+the tier-1 self-check can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.reprolint.core import all_rules, findings_to_json, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Domain-specific static analysis for the Dragonfly repro "
+        "(determinism, hash stability, unit hygiene, hot-path discipline).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "examples"],
+        help="files or directories to lint (default: src tools examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json follows the schema in docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes or prefixes to report (e.g. REP1,REP301)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, description in sorted(all_rules().items()):
+            print(f"{code}  {description}")
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The four domain rule families.  Importing this package registers them."""
+
+from tools.reprolint.checkers import determinism, hashstability, hotpath, units
+
+__all__ = ["determinism", "hashstability", "hotpath", "units"]

@@ -1,0 +1,203 @@
+"""REP1xx — determinism.
+
+Bit-identical reruns are the repro's foundational claim: the same scenario
+must produce the same event sequence, the same statistics and the same
+``scenario_hash``-keyed store entries on every machine, every time.  Three
+whole bug classes break that silently:
+
+* **REP101** — randomness not derived from the scenario seed: an unseeded
+  ``np.random.default_rng()``, the legacy global ``np.random.*`` state, or
+  the module-level :mod:`random` functions (whose state is shared and
+  unseeded).  Every random stream must come from :mod:`repro.core.rng` or a
+  seeded generator.
+* **REP102** — wall-clock reads inside simulation code: ``time.time()``,
+  ``datetime.now()`` and friends make behaviour depend on when (not what)
+  you run.  ``time.perf_counter()`` is allowed only in runner wall-clock
+  accounting (``runner.py``); real time is fine outside the ``repro``
+  package (tools, examples).
+* **REP103** — iterating a ``set``/``frozenset``: iteration order depends on
+  the interpreter's hash randomisation, so any event ordering, placement or
+  serialization derived from it differs between runs.  Sort first
+  (``sorted(...)``) or use a list/dict, which preserve insertion order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+
+#: ``random`` module members that are deterministic to *construct* (the
+#: caller seeds the instance); everything else on the module is global state.
+_SEEDED_RANDOM_TYPES = {"Random"}
+
+#: ``np.random`` members that are not the legacy global-state API.
+_NP_RANDOM_OK = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "default_rng"}
+
+#: Wall-clock callables, as (module alias chain, attribute) patterns.
+_WALL_CLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns", "localtime", "gmtime"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: Files whose job is wall-clock accounting: ``perf_counter`` is legitimate
+#: there (run wall-time reporting) and only there within simulation code.
+_PERF_COUNTER_FILES = {"runner.py"}
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Names bound at import time -> canonical module path.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random`` maps ``random -> numpy.random``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted(node: ast.expr) -> str:
+    """Dotted name of an attribute/name chain (empty for anything else)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "REP101": "randomness not derived from the scenario seed "
+        "(unseeded default_rng / global random state)",
+        "REP102": "wall-clock read inside simulation code",
+        "REP103": "iteration over a set: order leaks hash randomisation "
+        "into results",
+    }
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        aliases = _module_aliases(module.tree)
+
+        def canonical(dotted: str) -> str:
+            """Resolve the leading alias of a dotted chain (np -> numpy)."""
+            if not dotted:
+                return dotted
+            head, _, rest = dotted.partition(".")
+            head = aliases.get(head, head)
+            return f"{head}.{rest}" if rest else head
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, canonical)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(module, node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iteration(module, generator.iter, "comprehension")
+
+    # ----------------------------------------------------------------- calls
+    def _check_call(self, module: ModuleInfo, node: ast.Call, canonical) -> Iterator[Finding]:
+        dotted = canonical(_dotted(node.func))
+        if not dotted:
+            return
+
+        # --- REP101: unseeded / global-state RNG -------------------------
+        if dotted == "numpy.random.default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                module, node, "REP101",
+                "np.random.default_rng() without a seed: derive the seed from "
+                "the scenario (see repro.core.rng) so reruns are bit-identical",
+            )
+        elif dotted.startswith("numpy.random.") and dotted.split(".")[-1] not in _NP_RANDOM_OK:
+            yield self.finding(
+                module, node, "REP101",
+                f"{dotted}() uses numpy's global RNG state; use a seeded "
+                "np.random.Generator from repro.core.rng instead",
+            )
+        elif dotted.startswith("random.") and dotted.split(".")[-1] not in _SEEDED_RANDOM_TYPES:
+            yield self.finding(
+                module, node, "REP101",
+                f"{dotted}() draws from the shared module-level random state; "
+                "use a seeded random.Random or repro.core.rng stream",
+            )
+
+        # --- REP102: wall clock (simulation code only) -------------------
+        if not module.is_sim_path:
+            return
+        head, _, attr = dotted.rpartition(".")
+        if head == "time" and attr in _WALL_CLOCK_TIME:
+            yield self.finding(
+                module, node, "REP102",
+                f"time.{attr}() read inside simulation code: simulated time "
+                "lives on Simulator.now; wall-clock reads are nondeterministic",
+            )
+        elif attr in _WALL_CLOCK_DATETIME and head.split(".")[-1] in ("datetime", "date"):
+            yield self.finding(
+                module, node, "REP102",
+                f"{dotted}() read inside simulation code: behaviour must not "
+                "depend on when the run happens",
+            )
+        elif (
+            head == "time"
+            and attr in ("perf_counter", "perf_counter_ns", "process_time")
+            and module.filename not in _PERF_COUNTER_FILES
+        ):
+            yield self.finding(
+                module, node, "REP102",
+                f"time.{attr}() outside runner wall-clock accounting; only "
+                "the experiment runner may measure real elapsed time",
+            )
+
+    # --------------------------------------------------------------- imports
+    def _check_import(self, module: ModuleInfo, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module != "random" or node.level:
+            return
+        bad = sorted(
+            alias.name for alias in node.names if alias.name not in _SEEDED_RANDOM_TYPES
+        )
+        if bad:
+            yield self.finding(
+                module, node, "REP101",
+                f"from random import {', '.join(bad)} binds module-level "
+                "random state; import random.Random and seed it instead",
+            )
+
+    # ------------------------------------------------------------- iteration
+    def _check_iteration(self, module: ModuleInfo, iterable: ast.expr, where: str) -> Iterator[Finding]:
+        offender = self._set_expression(iterable)
+        if offender is not None:
+            yield self.finding(
+                module, iterable, "REP103",
+                f"{where} iterates a {offender} whose order depends on hash "
+                "randomisation; wrap in sorted(...) or keep a list/dict",
+            )
+
+    @staticmethod
+    def _set_expression(node: ast.expr) -> Optional[str]:
+        """Classify an expression that evaluates to an unordered set."""
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+            # `a - b`, `a & b`, `a | b` over sets: only flag when an operand
+            # is syntactically a set (constants/names might be ints).
+            for operand in (node.left, node.right):
+                inner = DeterminismChecker._set_expression(operand)
+                if inner:
+                    return f"set expression ({inner})"
+        return None

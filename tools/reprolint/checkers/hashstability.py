@@ -1,0 +1,245 @@
+"""REP2xx — hash stability of scenario serializers.
+
+``scenario_hash`` — sha256 over the canonical scenario JSON — keys every
+sweep-cache entry and result-store row.  The serializers therefore carry a
+hand-maintained contract (scenario.py's ``_OPTIONAL_SIM_KNOBS``, the
+``start_time`` convention in ``_job_to_dict``): a field **added after
+scenarios were first hashed** may be written to the serialized dict *only
+when it differs from its default*, so every historical scenario keeps its
+historical byte form and hash.  PRs 4 and 5 each had to rediscover that
+contract by breaking the 37-preset golden test; this family enforces it at
+lint time instead.
+
+* **REP201** — a dataclass field that has a default is written to the
+  serialized dict unconditionally.  Adding such a field changes the emitted
+  JSON of *every* existing scenario and silently orphans every stored hash.
+* **REP202** — the guard exists but does not check the field against its
+  dataclass default (wrong constant, or an unrelated condition): the
+  "default" omitted from the dict and the default of the constructor drift
+  apart, which is the same bug one level down.
+
+Serializers are recognised structurally: methods named ``to_dict`` on a
+dataclass, and module-level functions named ``*_to_dict`` whose first
+parameter is annotated with a known dataclass.  Emissions are dict-literal
+entries and ``doc[key] = ...`` assignments whose value reads a field of the
+serialized object; dict comprehensions with an ``if`` clause count as
+guarded (the clause is the non-default filter).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+
+
+def _annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Class name out of a parameter annotation (handles string annotations)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip()
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _field_reads(node: ast.expr, subject: str) -> List[Tuple[ast.Attribute, str]]:
+    """Every ``<subject>.<field>`` attribute read inside an expression."""
+    reads = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == subject
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            reads.append((sub, sub.attr))
+    return reads
+
+
+def _compare_constant(test: ast.expr, subject: str, field: str) -> Tuple[bool, object]:
+    """Whether the guard compares ``subject.field`` to a constant, and to what.
+
+    Returns ``(mentions_field, constant)`` where ``constant`` is the compared
+    literal when the guard is a simple ``subject.field != C`` / ``== C`` /
+    ``is not C`` form, or ``None`` when the comparison is not that shape.
+    """
+    mentions = bool(_field_reads(test, subject))
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return mentions, None
+    left, right = test.left, test.comparators[0]
+    # Normalise so the attribute is on the left.
+    if not _field_reads(left, subject):
+        left, right = right, left
+    if not (
+        _field_reads(left, subject)
+        and isinstance(left, ast.Attribute)
+        and left.attr == field
+    ):
+        return mentions, None
+    if isinstance(right, ast.Constant):
+        return mentions, right.value
+    if (
+        isinstance(right, ast.UnaryOp)
+        and isinstance(right.op, ast.USub)
+        and isinstance(right.operand, ast.Constant)
+    ):
+        return mentions, -right.operand.value
+    return mentions, None
+
+
+@register
+class HashStabilityChecker(Checker):
+    name = "hash-stability"
+    rules = {
+        "REP201": "defaulted dataclass field serialized unconditionally "
+        "(breaks every stored scenario_hash)",
+        "REP202": "serialization guard does not check the field against "
+        "its dataclass default",
+    }
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                fields = project.fields_of(node.name)
+                if fields is None:
+                    continue
+                for stmt in node.body:
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == "to_dict":
+                        yield from self._check_serializer(module, stmt, "self", fields)
+            elif isinstance(node, ast.Module):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.FunctionDef)
+                        and stmt.name.endswith("_to_dict")
+                        and stmt.args.args
+                    ):
+                        first = stmt.args.args[0]
+                        fields = project.fields_of(_annotation_name(first.annotation) or "")
+                        if fields is not None:
+                            yield from self._check_serializer(
+                                module, stmt, first.arg, fields
+                            )
+
+    # ------------------------------------------------------------ serializer
+    def _check_serializer(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef,
+        subject: str,
+        fields: Dict[str, object],
+    ) -> Iterator[Finding]:
+        guards = _GuardIndex(func)
+        for emission, value, guard in _emissions(func):
+            for attr_node, field in _field_reads(value, subject):
+                default = fields.get(field, ProjectIndex.NO_DEFAULT)
+                if default is ProjectIndex.NO_DEFAULT:
+                    continue  # required field: unconditional emission is the contract
+                effective_guard = guard if guard is not None else guards.enclosing_if(emission)
+                if effective_guard is None:
+                    yield self.finding(
+                        module, attr_node, "REP201",
+                        f"field {field!r} has a default but is serialized "
+                        "unconditionally; emit it only when non-default or "
+                        "every stored scenario_hash changes",
+                    )
+                    continue
+                if isinstance(effective_guard, _ComprehensionGuard):
+                    continue  # an if-clause filters the emission; accept it
+                mentions, constant = _compare_constant(effective_guard, subject, field)
+                if not mentions:
+                    yield self.finding(
+                        module, attr_node, "REP202",
+                        f"guard around serialization of {field!r} never "
+                        "inspects the field; it must compare against the "
+                        "dataclass default",
+                    )
+                elif (
+                    constant is not None
+                    and default is not ProjectIndex.HAS_DEFAULT
+                    and not _defaults_equal(constant, default)
+                ):
+                    yield self.finding(
+                        module, attr_node, "REP202",
+                        f"guard compares {field!r} against {constant!r} but "
+                        f"the dataclass default is {default!r}; the omitted "
+                        "value and the constructor default must match",
+                    )
+
+
+class _ComprehensionGuard:
+    """Marker guard: the emission sits in a comprehension with if-clauses."""
+
+
+def _defaults_equal(a: object, b: object) -> bool:
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False  # True != 1 for serialization purposes
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - exotic constants
+        return False
+
+
+def _emissions(func: ast.FunctionDef):
+    """Yield ``(node, value_expr, guard)`` for every dict emission in ``func``.
+
+    ``guard`` is the comprehension marker for guarded dict comprehensions,
+    otherwise ``None`` (statement-level guards are resolved by the caller
+    through the :class:`_GuardIndex`).
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if key is not None and value is not None:
+                    yield value, value, None
+        elif isinstance(node, ast.DictComp):
+            guard = _ComprehensionGuard() if any(g.ifs for g in node.generators) else None
+            yield node.value, node.value, guard
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    yield node, node.value, None
+        elif isinstance(node, ast.Call):
+            # doc.update({...}) / doc.setdefault(k, v): treat args as emissions.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("update", "setdefault")
+            ):
+                for arg in node.args:
+                    if not isinstance(arg, ast.Dict):
+                        yield arg, arg, None
+
+
+class _GuardIndex:
+    """Maps a node to the test of its innermost enclosing ``if`` statement."""
+
+    def __init__(self, func: ast.FunctionDef):
+        self._enclosing: Dict[ast.AST, Optional[ast.expr]] = {}
+        self._walk(func, None)
+
+    def _walk(self, node: ast.AST, guard: Optional[ast.expr]) -> None:
+        self._enclosing[node] = guard
+        if isinstance(node, ast.If):
+            for child in node.body:
+                self._walk(child, node.test)
+            # The else branch is *not* a non-default guard for our purposes:
+            # emissions there are still conditional, so keep the test — the
+            # REP202 shape check decides whether it is an acceptable guard.
+            for child in node.orelse:
+                self._walk(child, node.test)
+            self._walk(node.test, guard)
+            return
+        if isinstance(node, ast.IfExp):
+            self._walk(node.test, guard)
+            self._walk(node.body, node.test)
+            self._walk(node.orelse, node.test)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, guard)
+
+    def enclosing_if(self, node: ast.AST) -> Optional[ast.expr]:
+        return self._enclosing.get(node)

@@ -1,0 +1,140 @@
+"""REP4xx — hot-path discipline.
+
+PR 1's fast-path work established that the per-event code — the engine's
+event loop, the router's receive/arbitrate/grant chain, the collector's
+per-packet hooks — dominates run time, and that the profitable Python-level
+optimisations there are mundane: bind attribute chains to locals, avoid
+per-event closure and comprehension allocations.  Those wins erode silently
+as code evolves, so the blocks in question carry a ``# reprolint: hot``
+marker (on the line of, or the line before, a ``def``/loop) and this family
+polices the marked subtree:
+
+* **REP401** — the same dotted attribute chain is read repeatedly: each
+  read is a dict lookup per hop, per event.  Deep chains (two or more
+  hops, e.g. ``self.sim.now``) are flagged on the second read; single-hop
+  chains on the third.  Hoist to a local.
+* **REP402** — a ``def``/``lambda`` nested in a hot block allocates a
+  closure per event.
+* **REP403** — a comprehension or generator expression in a hot block
+  allocates (and for generators, frame-switches) per event.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+
+#: Minimum Load-context occurrences before a chain is worth a local, by
+#: chain depth (attribute hops from the root name).
+_REPEAT_THRESHOLD_DEEP = 2  # self.x.y and deeper
+_REPEAT_THRESHOLD_SHALLOW = 3  # self.x / packet.x
+
+
+def _pure_chain(node: ast.Attribute) -> Optional[Tuple[str, int]]:
+    """(dotted path, hops) for a Name-rooted attribute chain, else None.
+
+    Chains broken by calls or subscripts are not hoistable as a unit, so
+    they are ignored.
+    """
+    hops = 0
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        hops += 1
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts)), hops
+
+
+def hot_statements(module: ModuleInfo) -> List[ast.stmt]:
+    """The statements marked hot: a ``# reprolint: hot`` comment attaches to
+    the statement on its own line, or to the first statement that starts on
+    a later line (the marker-above-the-``def`` form)."""
+    statements = [node for node in ast.walk(module.tree) if isinstance(node, ast.stmt)]
+    marked: List[ast.stmt] = []
+    for line in sorted(module.hot_lines):
+        candidates = [s for s in statements if s.lineno >= line]
+        if not candidates:
+            continue
+        first_line = min(s.lineno for s in candidates)
+        # Of the statements starting on that line, take the outermost
+        # (smallest column): the marker covers the whole compound statement.
+        chosen = min(
+            (s for s in candidates if s.lineno == first_line),
+            key=lambda s: s.col_offset,
+        )
+        marked.append(chosen)
+    return marked
+
+
+@register
+class HotPathChecker(Checker):
+    name = "hot-path"
+    rules = {
+        "REP401": "repeated attribute chain in a hot block; hoist to a local",
+        "REP402": "closure allocated inside a hot block",
+        "REP403": "comprehension/generator allocation inside a hot block",
+    }
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for stmt in hot_statements(module):
+            yield from self._check_region(module, stmt)
+
+    def _check_region(self, module: ModuleInfo, region: ast.stmt) -> Iterator[Finding]:
+        # --- REP401: repeated chains ------------------------------------
+        loads: Dict[str, List[ast.Attribute]] = {}
+        depths: Dict[str, int] = {}
+        for node in ast.walk(region):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                chain = _pure_chain(node)
+                if chain is None:
+                    continue
+                path, hops = chain
+                loads.setdefault(path, []).append(node)
+                depths[path] = hops
+        # Only report maximal chains: reading ``self.sim.now`` twice also
+        # reads ``self.sim`` twice, but one finding (the deep one) suffices.
+        repeated = {
+            path
+            for path, nodes in loads.items()
+            if len(nodes)
+            >= (_REPEAT_THRESHOLD_DEEP if depths[path] >= 2 else _REPEAT_THRESHOLD_SHALLOW)
+        }
+        for path in sorted(repeated):
+            if any(other != path and other.startswith(path + ".") for other in repeated):
+                continue
+            nodes = sorted(loads[path], key=lambda n: (n.lineno, n.col_offset))
+            yield self.finding(
+                module, nodes[1], "REP401",
+                f"attribute chain {path!r} read {len(nodes)} times in a hot "
+                "block; bind it to a local once",
+            )
+
+        # --- REP402 / REP403: per-event allocations ---------------------
+        for node in ast.walk(region):
+            if node is region:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                label = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    module, node, "REP402",
+                    f"closure {label!r} is allocated on every pass through a "
+                    "hot block; define it once outside",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                yield self.finding(
+                    module, node, "REP403",
+                    "comprehension allocates a fresh container per event in a "
+                    "hot block; use an explicit loop over preallocated state",
+                )
+            elif isinstance(node, ast.GeneratorExp):
+                yield self.finding(
+                    module, node, "REP403",
+                    "generator expression allocates and frame-switches per "
+                    "event in a hot block; use an explicit loop",
+                )

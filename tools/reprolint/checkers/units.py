@@ -1,0 +1,139 @@
+"""REP3xx — unit hygiene.
+
+The repo's convention (``docs/architecture.md``, config.py's module
+docstring) is that every quantity carries its unit in the identifier:
+``warmup_ns``, ``link_bandwidth_gbps``, ``packet_size_bytes``,
+``link_bandwidth_bytes_per_ns``.  That convention only protects against
+conversion bugs if something checks it — adding a ``_ns`` to a ``_s``, or
+passing a ``_gbps`` figure to a ``_bytes_per_ns`` keyword, type-checks and
+runs and silently produces numbers that are off by 1e9.
+
+* **REP301** — additive arithmetic (``+``/``-``) or a comparison mixes
+  identifiers whose unit suffixes disagree.  Multiplication and division
+  are exempt: combining units there is how conversions are *written*.
+* **REP302** — a unit-suffixed variable is passed to a keyword argument
+  with a different unit suffix (``f(warmup_ns=delay_s)``).
+
+Suffixes are matched on trailing underscore-separated components, longest
+first, so ``link_bandwidth_bytes_per_ns`` reads as bytes/ns, not as ``_ns``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+
+#: suffix -> (dimension, unit).  Matched against trailing ``_``-separated
+#: identifier components, longest suffix first.
+UNIT_SUFFIXES = {
+    "bytes_per_ns": ("bandwidth", "bytes/ns"),
+    "gb_per_ms": ("bandwidth", "GB/ms"),
+    "gbps": ("bandwidth", "Gb/s"),
+    "mbps": ("bandwidth", "Mb/s"),
+    "ns": ("time", "ns"),
+    "us": ("time", "us"),
+    "ms": ("time", "ms"),
+    "s": ("time", "s"),
+    "bytes": ("size", "bytes"),
+    "kb": ("size", "KB"),
+    "mb": ("size", "MB"),
+    "gb": ("size", "GB"),
+    "flits": ("size", "flits"),
+    "packets": ("size", "packets"),
+}
+
+#: Longest-first match order (``bytes_per_ns`` must win over ``ns``).
+_ORDERED_SUFFIXES = sorted(UNIT_SUFFIXES, key=len, reverse=True)
+
+
+def unit_of(identifier: str) -> Optional[Tuple[str, str]]:
+    """(dimension, unit) encoded by an identifier's trailing components."""
+    parts = identifier.lower().split("_")
+    for suffix in _ORDERED_SUFFIXES:
+        n = suffix.count("_") + 1
+        if len(parts) >= n + 1 and "_".join(parts[-n:]) == suffix:
+            # Require at least one leading component: a bare ``ns``/``s``
+            # variable names the unit itself, not a quantity.
+            return UNIT_SUFFIXES[suffix]
+    return None
+
+
+def _operand_unit(node: ast.expr) -> Optional[Tuple[str, Tuple[str, str]]]:
+    """(identifier, (dimension, unit)) of an operand, if it encodes one.
+
+    Names and attribute reads carry their own suffix; a subscript of a
+    suffixed container (``latencies_ns[0]``) inherits the container's unit.
+    Calls and literals are opaque — a call may convert units internally.
+    """
+    if isinstance(node, ast.Name):
+        unit = unit_of(node.id)
+        return (node.id, unit) if unit else None
+    if isinstance(node, ast.Attribute):
+        unit = unit_of(node.attr)
+        return (node.attr, unit) if unit else None
+    if isinstance(node, ast.Subscript):
+        return _operand_unit(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return _operand_unit(node.operand)
+    return None
+
+
+@register
+class UnitHygieneChecker(Checker):
+    name = "unit-hygiene"
+    rules = {
+        "REP301": "arithmetic or comparison mixes identifiers with "
+        "conflicting unit suffixes",
+        "REP302": "unit-suffixed argument passed to a keyword with a "
+        "different unit suffix",
+    }
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_operands(module, node, [node.left, node.right])
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_operands(module, node, [node.target, node.value])
+            elif isinstance(node, ast.Compare):
+                yield from self._check_operands(
+                    module, node, [node.left, *node.comparators]
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_keywords(module, node)
+
+    def _check_operands(
+        self, module: ModuleInfo, node: ast.AST, operands
+    ) -> Iterator[Finding]:
+        units = [info for info in (_operand_unit(op) for op in operands) if info]
+        for (name_a, unit_a), (name_b, unit_b) in zip(units, units[1:]):
+            if unit_a != unit_b:
+                dim_note = (
+                    "different units of the same dimension"
+                    if unit_a[0] == unit_b[0]
+                    else f"different dimensions ({unit_a[0]} vs {unit_b[0]})"
+                )
+                yield self.finding(
+                    module, node, "REP301",
+                    f"{name_a!r} [{unit_a[1]}] combined with {name_b!r} "
+                    f"[{unit_b[1]}]: {dim_note}; convert explicitly first",
+                )
+
+    def _check_keywords(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            expected = unit_of(keyword.arg)
+            if expected is None:
+                continue
+            info = _operand_unit(keyword.value)
+            if info is None:
+                continue
+            name, actual = info
+            if actual != expected:
+                yield self.finding(
+                    module, keyword.value, "REP302",
+                    f"keyword {keyword.arg!r} expects [{expected[1]}] but "
+                    f"{name!r} carries [{actual[1]}]; convert before passing",
+                )

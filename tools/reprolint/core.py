@@ -1,0 +1,381 @@
+"""Checker framework for reprolint.
+
+The framework is deliberately small and dependency-free (stdlib ``ast`` +
+``tokenize`` only):
+
+* :class:`Finding` — one diagnostic (path, line, col, rule code, message);
+* :class:`Checker` — base class; subclasses declare the rule codes they emit
+  and implement :meth:`Checker.check` over one parsed module;
+* :func:`register` — decorator adding a checker class to the global registry;
+* :class:`ModuleInfo` — a parsed source file plus the comment-derived side
+  tables every checker needs: suppression lines (``# reprolint:
+  disable=CODE``) and hot-block markers (``# reprolint: hot``);
+* :class:`ProjectIndex` — cross-file facts collected in a first pass over
+  every linted module, currently the dataclass-field/default index that the
+  hash-stability family cross-checks serializers against;
+* :func:`lint_paths` / :func:`lint_sources` — the two entry points: walk
+  files, build the index, run every registered checker, drop suppressed
+  findings.
+
+Suppression semantics: a ``# reprolint: disable=REP101`` (comma-separated
+codes, or ``all``) trailing comment suppresses matching findings on its own
+line; when the comment stands on a line of its own it applies to the next
+line that holds code.  Suppressions are intentionally line-scoped — a
+file- or block-wide opt-out would defeat the point of the tool.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ModuleInfo",
+    "ProjectIndex",
+    "all_rules",
+    "findings_to_json",
+    "lint_paths",
+    "lint_sources",
+    "register",
+    "registered_checkers",
+]
+
+#: ``# reprolint: <directive>`` comment.  The directive is either ``hot`` or
+#: ``disable=CODE[,CODE...]``; anything after ``--`` is a human justification.
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>[^#]*)")
+_DISABLE = re.compile(r"disable\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)")
+_HOT = re.compile(r"\bhot\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a checker."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the text output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-output form (see ``docs/static-analysis.md`` for the schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus comment-derived side tables."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: line -> set of rule codes disabled there (``{"all"}`` disables all).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lines carrying a ``# reprolint: hot`` marker.
+    hot_lines: Set[int] = field(default_factory=set)
+
+    @property
+    def is_sim_path(self) -> bool:
+        """Whether this module is simulation code (under the ``repro`` package).
+
+        Determinism rules about wall-clock time apply only to simulation
+        code; tools and examples legitimately read real time.
+        """
+        return "repro" in Path(self.path).parts
+
+    @property
+    def filename(self) -> str:
+        return Path(self.path).name
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line)
+        if not codes:
+            return False
+        return "all" in codes or finding.code in codes
+
+
+class ProjectIndex:
+    """Cross-file facts shared by every checker.
+
+    Currently one table: ``dataclasses`` maps a dataclass name to
+    ``{field_name: default}`` where the default is the literal default value
+    when it is statically known, :data:`HAS_DEFAULT` for ``field(...)``
+    defaults whose value is not a literal, and :data:`NO_DEFAULT` for
+    required fields.
+    """
+
+    #: Sentinel: field has a default but its value is not a literal.
+    HAS_DEFAULT = object()
+    #: Sentinel: field has no default (required).
+    NO_DEFAULT = object()
+
+    def __init__(self) -> None:
+        self.dataclasses: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------- building
+    def add_module(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                self.dataclasses[node.name] = _dataclass_fields(node)
+
+    # -------------------------------------------------------------- queries
+    def fields_of(self, class_name: str) -> Optional[Dict[str, object]]:
+        """Field table of a known dataclass, or None."""
+        return self.dataclasses.get(class_name)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _literal_default(node: ast.expr) -> object:
+    """The constant value of a default expression, or HAS_DEFAULT if dynamic."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return -node.operand.value
+    return ProjectIndex.HAS_DEFAULT
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Dict[str, object]:
+    table: Dict[str, object] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if stmt.value is None:
+            table[name] = ProjectIndex.NO_DEFAULT
+        elif (
+            isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == "field"
+        ):
+            default: object = ProjectIndex.NO_DEFAULT
+            for keyword in stmt.value.keywords:
+                if keyword.arg == "default":
+                    default = _literal_default(keyword.value)
+                elif keyword.arg == "default_factory":
+                    default = ProjectIndex.HAS_DEFAULT
+            table[name] = default
+        else:
+            table[name] = _literal_default(stmt.value)
+    return table
+
+
+class Checker:
+    """Base class for one rule family.
+
+    Subclasses set :attr:`rules` (code -> one-line description) and
+    implement :meth:`check`, yielding :class:`Finding` objects.  Register
+    with the :func:`register` decorator.
+    """
+
+    #: Human name of the family, e.g. ``"determinism"``.
+    name: str = ""
+    #: code -> one-line description of every rule this checker can emit.
+    rules: Dict[str, str] = {}
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+    def finding(self, module: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
+        if code not in self.rules:  # pragma: no cover - checker authoring bug
+            raise ValueError(f"{type(self).__name__} emitted unregistered code {code}")
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+_CHECKERS: List[Type[Checker]] = []
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    overlap = set(cls.rules) & set(all_rules())
+    if overlap:  # pragma: no cover - checker authoring bug
+        raise ValueError(f"rule codes {sorted(overlap)} registered twice")
+    _CHECKERS.append(cls)
+    return cls
+
+
+def registered_checkers() -> List[Type[Checker]]:
+    """The registered checker classes, in registration order."""
+    return list(_CHECKERS)
+
+
+def all_rules() -> Dict[str, str]:
+    """code -> description across every registered checker."""
+    table: Dict[str, str] = {}
+    for cls in _CHECKERS:
+        table.update(cls.rules)
+    return table
+
+
+# ---------------------------------------------------------------- comments
+def _scan_comments(path: str, source: str) -> Tuple[Dict[int, Set[str]], Set[int]]:
+    """Extract suppression and hot-marker tables from the token stream.
+
+    Returns ``(suppressions, hot_lines)``.  Tokenizing (rather than regexing
+    raw lines) means directives inside string literals are never honoured.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    hot_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions, hot_lines
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        body = match.group("body").split("--")[0]
+        line = token.start[0]
+        standalone = token.line.strip().startswith("#")
+        if _HOT.search(body):
+            hot_lines.add(line)
+        disable = _DISABLE.search(body)
+        if disable:
+            codes = {c.strip() for c in disable.group("codes").split(",") if c.strip()}
+            target = line + 1 if standalone else line
+            suppressions.setdefault(target, set()).update(codes)
+    return suppressions, hot_lines
+
+
+# ------------------------------------------------------------------ running
+def _parse_module(path: str, source: str) -> Tuple[Optional[ModuleInfo], Optional[Finding]]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code="REP001",
+            message=f"syntax error: {exc.msg}",
+        )
+    suppressions, hot_lines = _scan_comments(path, source)
+    return ModuleInfo(path, source, tree, suppressions, hot_lines), None
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    # De-duplicate while keeping order (a file given twice is linted once).
+    unique: List[Path] = []
+    seen: Set[Path] = set()
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def lint_sources(
+    sources: Dict[str, str], select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint in-memory sources (``path -> text``).  The test-friendly core.
+
+    ``select`` restricts output to the given rule codes or code prefixes
+    (``"REP1"`` selects the whole determinism family).
+    """
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path, text in sources.items():
+        module, error = _parse_module(path, text)
+        if error is not None:
+            findings.append(error)
+        if module is not None:
+            modules.append(module)
+
+    project = ProjectIndex()
+    for module in modules:
+        project.add_module(module)
+
+    checkers = [cls() for cls in _CHECKERS]
+    for module in modules:
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                if not module.suppressed(finding):
+                    findings.append(finding)
+
+    if select is not None:
+        wanted = tuple(select)
+        findings = [f for f in findings if f.code.startswith(wanted)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint files and directories; the CLI entry point calls this."""
+    sources: Dict[str, str] = {}
+    for path in collect_files(paths):
+        sources[str(path)] = path.read_text(encoding="utf-8")
+    return lint_sources(sources, select=select)
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Render findings as the stable JSON schema consumed by CI tooling."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# Checker modules register themselves on import; imported last so the
+# registry and base classes above exist when they do.
+from tools.reprolint import checkers as _checkers  # noqa: E402,F401  (registration side effect)
