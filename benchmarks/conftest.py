@@ -20,10 +20,16 @@ Delete the store file after changing simulator behaviour without bumping
 
 Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen
 the sweeps.
+
+After a session that ran any bench driver, a machine-readable summary —
+per-driver wall time plus headline metrics from the bench store — is written
+to ``BENCH_PR7.json`` at the repo root (override with ``REPRO_BENCH_SUMMARY``;
+set it to the empty string to disable).  CI uploads it as an artifact.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional
@@ -62,11 +68,78 @@ _STORE: Optional[ResultStore] = None
 _RUNS: Dict[str, RunResult] = {}
 
 
+#: Where the machine-readable suite summary lands ('' disables it).
+_SUMMARY_PATH = os.environ.get("REPRO_BENCH_SUMMARY", str(_BENCH_DIR.parent / "BENCH_PR7.json"))
+
+#: Per-driver (module) wall time and outcome counts, filled by the hook below.
+_DRIVER_TIMES: Dict[str, Dict[str, float]] = {}
+
+
 def pytest_collection_modifyitems(config, items):
     """Mark every test in this directory `bench` so tier-1 can deselect them."""
     for item in items:
         if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
             item.add_marker(pytest.mark.bench)
+
+
+def pytest_runtest_logreport(report):
+    """Accumulate per-driver wall time for the BENCH_PR7.json summary."""
+    if report.when != "call":
+        return
+    module = report.nodeid.split("::", 1)[0]
+    if not Path(module).name.startswith("test_"):
+        return
+    if _BENCH_DIR not in Path(module).resolve().parents:
+        return
+    entry = _DRIVER_TIMES.setdefault(
+        Path(module).stem, {"tests": 0, "passed": 0, "wall_seconds": 0.0}
+    )
+    entry["tests"] += 1
+    entry["passed"] += int(report.outcome == "passed")
+    entry["wall_seconds"] += float(report.duration)
+
+
+def _headline_metrics() -> Dict[str, Dict[str, float]]:
+    """Mean headline metrics per stored scenario name, from the bench store."""
+    headline: Dict[str, Dict[str, float]] = {}
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for run in bench_store().runs():
+        counts[run.name] = counts.get(run.name, 0) + 1
+        bucket = sums.setdefault(run.name, {"makespan_ns": 0.0, "mean_comm_time_ns": 0.0})
+        bucket["makespan_ns"] += float(run.metrics.get("makespan_ns", 0.0))
+        bucket["mean_comm_time_ns"] += float(run.metrics.get("mean_comm_time_ns", 0.0))
+    for name in sorted(sums):
+        headline[name] = {
+            metric: value / counts[name] for metric, value in sums[name].items()
+        }
+    return headline
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-driver wall-time + headline-metric summary, if enabled."""
+    if not _DRIVER_TIMES or not _SUMMARY_PATH:
+        return
+    summary = {
+        "suite": "benchmarks",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "full_sweep": FULL_SWEEP,
+        "exit_status": int(exitstatus),
+        "total_wall_seconds": round(
+            sum(entry["wall_seconds"] for entry in _DRIVER_TIMES.values()), 3
+        ),
+        "drivers": {
+            name: {
+                "tests": int(entry["tests"]),
+                "passed": int(entry["passed"]),
+                "wall_seconds": round(entry["wall_seconds"], 3),
+            }
+            for name, entry in sorted(_DRIVER_TIMES.items())
+        },
+        "store_headline": _headline_metrics(),
+    }
+    Path(_SUMMARY_PATH).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 
 def bench_store() -> ResultStore:

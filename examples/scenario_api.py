@@ -24,6 +24,7 @@ Run with:  python examples/scenario_api.py
 
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.analysis.reports import format_table
@@ -45,12 +46,14 @@ def main() -> None:
     scenario = pairwise_scenario("FFT3D", "Halo3D", scale=0.15 if SMOKE else 0.3)
 
     # 2. Serialize: strict JSON round-trip (unknown keys are rejected).
-    path = Path("pairwise_scenario.json")
-    dump_scenarios(path, [scenario])
-    (reloaded,) = load_scenarios(path)
-    assert reloaded == scenario
-    assert Scenario.from_json(scenario.to_json()) == scenario
-    print(f"wrote {path} ({path.stat().st_size} bytes), round-trip exact")
+    #    Scratch output goes under the system temp dir, not the working tree.
+    with tempfile.TemporaryDirectory(prefix="dragonfly-sim-") as scratch:
+        path = Path(scratch) / "pairwise_scenario.json"
+        dump_scenarios(path, [scenario])
+        (reloaded,) = load_scenarios(path)
+        assert reloaded == scenario
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        print(f"wrote {path} ({path.stat().st_size} bytes), round-trip exact")
 
     # 3. Run: the facade every entry point goes through.
     result = scenario.run()

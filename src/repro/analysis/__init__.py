@@ -20,9 +20,11 @@ from repro.analysis.reports import (
     format_table,
     intensity_report,
     interference_report,
+    ml_rows,
     render_rows,
     table1_rows,
     table2_rows,
+    trace_rows,
 )
 
 __all__ = [
@@ -37,8 +39,10 @@ __all__ = [
     "interference_report",
     "mixed_rows_from_store",
     "mixed_study",
+    "ml_rows",
     "pairwise_study",
     "render_rows",
     "table1_rows",
     "table2_rows",
+    "trace_rows",
 ]

@@ -38,12 +38,14 @@ __all__ = [
     "intensity_report",
     "interference_report",
     "loadcurve_rows",
+    "ml_rows",
     "render_rows",
     "report_names",
     "synthetic_rows",
     "synthetic_standalone_rows",
     "table1_rows",
     "table2_rows",
+    "trace_rows",
 ]
 
 #: Column schemas of the store-backed reports.
@@ -364,6 +366,111 @@ def synthetic_standalone_rows(
     return rows
 
 
+def ml_rows(
+    store: "ResultStore",
+    pattern: str,
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[dict]:
+    """Intensity rows of one standalone ML-collective pattern, per routing.
+
+    Reads the stored ``ml/<pattern>`` runs (the registered standalone
+    presets — see :func:`repro.experiments.scenario.ml_scenario`) and renders
+    Table I-style intensity columns, one row per routing algorithm.  This is
+    ``dragonfly-sim report ml/ring_allreduce``; interference of an ML pattern
+    against a target goes through the usual pairwise machinery
+    (``report pairwise/<Target>+ml.<pattern>``).
+    """
+    from repro.results.store import ensure_uniform, mean_metric
+    from repro.workloads import ML_COLLECTIVES, resolve_application
+
+    app = resolve_application(pattern if pattern.startswith("ml.") else f"ml.{pattern}")
+    if app not in ML_COLLECTIVES:
+        raise ValueError(
+            f"{pattern!r} is not an ML-collective pattern; ml reports cover "
+            f"{sorted(ML_COLLECTIVES)}"
+        )
+    short = app.split(".", 1)[1]
+    runs = store.runs_named(
+        f"ml/{short}",
+        routing=routing, seed=seed, scale=scale, placement=placement,
+        start_time=start_time, knobs=knobs,
+    )
+    if not runs:
+        raise ValueError(
+            f"no stored ml/{short} runs; populate the store with "
+            f"'dragonfly-sim run ml/{short} --store PATH'"
+        )
+    rows = []
+    for algo in sorted({run.routing for run in runs}):
+        matched = [run for run in runs if run.routing == algo]
+        ensure_uniform(matched, f"ml/{short}")
+        rows.append(
+            {
+                "routing": algo,
+                "pattern": ML_COLLECTIVES[app].pattern,
+                "app": app,
+                "total_msg_bytes": mean_metric(matched, "total_msg_bytes", app),
+                "execution_time_ns": mean_metric(matched, "execution_time_ns", app),
+                "injection_rate_gbps": mean_metric(matched, "injection_rate_gbps", app),
+                "peak_ingress_bytes": mean_metric(matched, "peak_ingress_bytes", app),
+            }
+        )
+    return rows
+
+
+def trace_rows(
+    store: "ResultStore",
+    name: str,
+    routing: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    placement: Optional[str] = None,
+    start_time: Optional[float] = None,
+    knobs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[dict]:
+    """Intensity rows of stored trace-replay runs, per routing.
+
+    Reads the runs stored under ``trace/<name>`` (the default scenario name
+    :func:`repro.traces.replay_scenario` gives a replay of app ``<name>``)
+    and renders Table I-style intensity columns per routing algorithm.  The
+    replayed job is always named ``trace`` in the run's per-app metrics.
+    Backs ``dragonfly-sim report trace/<name>``.
+    """
+    from repro.results.store import ensure_uniform, mean_metric
+
+    runs = store.runs_named(
+        f"trace/{name}",
+        routing=routing, seed=seed, scale=scale, placement=placement,
+        start_time=start_time, knobs=knobs,
+    )
+    if not runs:
+        raise ValueError(
+            f"no stored trace/{name} runs; populate the store with "
+            f"'dragonfly-sim trace replay PATH.trace.jsonl --store PATH'"
+        )
+    rows = []
+    for algo in sorted({run.routing for run in runs}):
+        matched = [run for run in runs if run.routing == algo]
+        ensure_uniform(matched, f"trace/{name}")
+        rows.append(
+            {
+                "routing": algo,
+                "pattern": "trace-replay",
+                "app": name,
+                "total_msg_bytes": mean_metric(matched, "total_msg_bytes", "trace"),
+                "execution_time_ns": mean_metric(matched, "execution_time_ns", "trace"),
+                "injection_rate_gbps": mean_metric(matched, "injection_rate_gbps", "trace"),
+                "peak_ingress_bytes": mean_metric(matched, "peak_ingress_bytes", "trace"),
+            }
+        )
+    return rows
+
+
 def loadcurve_rows(
     store: "ResultStore",
     pattern: str,
@@ -451,6 +558,8 @@ def report_names() -> List[str]:
         "synthetic/<Target>",
         "synthetic/<pattern>",
         "loadcurve/<pattern>",
+        "ml/<pattern>",
+        "trace/<name>",
     ]
 
 
@@ -470,9 +579,11 @@ def build_report(
     ``name`` is ``table1``, ``table2``, ``mixed`` (the Fig. 10 interference
     rows), ``pairwise/<Target>+<Background>`` (``pairwise/<Target>`` for
     the standalone baseline row), ``synthetic/<Target>`` (the target
-    against every stored synthetic background) or ``loadcurve/<pattern>``
+    against every stored synthetic background), ``loadcurve/<pattern>``
     (the steady-state latency-vs-offered-load curve, one row per routing ×
-    load).  ``routing``/``seed``/``scale``/``placement`` narrow the stored
+    load), ``ml/<pattern>`` (standalone ML-collective intensity per routing)
+    or ``trace/<name>`` (stored trace-replay intensity per routing).
+    ``routing``/``seed``/``scale``/``placement`` narrow the stored
     runs considered; metrics are aggregated (mean) across whatever still
     matches.  Backs ``dragonfly-sim report``.
     """
@@ -530,6 +641,26 @@ def build_report(
             placement=placement, start_time=start_time, knobs=knobs,
         )
         columns = LOADCURVE_COLUMNS
+    elif name.startswith("ml/"):
+        pattern = name[len("ml/"):]
+        if not pattern:
+            raise ValueError("ml report needs a pattern: ml/<pattern>")
+        title = f"ML-collective intensity — {pattern} (standalone)"
+        rows = ml_rows(
+            store, pattern, routing=routing, seed=seed, scale=scale,
+            placement=placement, start_time=start_time, knobs=knobs,
+        )
+        columns = ["routing"] + TABLE1_COLUMNS
+    elif name.startswith("trace/"):
+        replay = name[len("trace/"):]
+        if not replay:
+            raise ValueError("trace report needs a name: trace/<name>")
+        title = f"Trace replay intensity — {replay}"
+        rows = trace_rows(
+            store, replay, routing=routing, seed=seed, scale=scale,
+            placement=placement, start_time=start_time, knobs=knobs,
+        )
+        columns = ["routing"] + TABLE1_COLUMNS
     elif name.startswith("synthetic/"):
         from repro.workloads import SYNTHETIC_PATTERNS, resolve_application
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``dragonfly-sim``.
 
-Seven subcommands cover the study's workflows:
+Eight subcommands cover the study's workflows:
 
 * ``table1``    — run every application standalone and print the Table I rows;
 * ``pairwise``  — co-run a target and a background application under one or
@@ -13,6 +13,10 @@ Seven subcommands cover the study's workflows:
 * ``run``       — execute a named scenario from the built-in library or a
   scenario JSON file, optionally recording into a store
   (see docs/scenarios.md);
+* ``trace``     — ``trace record`` runs a scenario and dumps every job's
+  communication trace as a ``.trace.jsonl`` file; ``trace replay``
+  re-executes a trace file as a ``"trace"`` job, optionally under a
+  different routing/placement/seed (see docs/traces.md);
 * ``report``    — rebuild Table I/II, the pairwise/mixed comparison rows and
   the steady-state ``loadcurve/<pattern>`` latency-vs-offered-load curves
   from a populated result store, as text, CSV or Markdown — **no
@@ -210,6 +214,59 @@ def build_parser() -> argparse.ArgumentParser:
              "(readable later with 'dragonfly-sim report')",
     )
 
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="record a scenario's communication traces, or replay a trace file",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", parents=[common],
+        help="run a scenario and dump each job's rank program as a trace file",
+    )
+    trace_record.add_argument(
+        "scenario",
+        help="scenario name (see 'dragonfly-sim scenarios') or path to a "
+             "scenario JSON file describing a single scenario",
+    )
+    trace_record.add_argument(
+        "--output", "-o", default="traces", metavar="DIR",
+        help="directory for the .trace.jsonl files (default: traces/)",
+    )
+    trace_record.add_argument(
+        "--job", default=None, metavar="NAME",
+        help="only write the trace of this job (default: every job)",
+    )
+    trace_record.add_argument(
+        "--routing", default=None, help="override the routing algorithm before recording"
+    )
+    trace_record.add_argument(
+        "--placement", default=None, help="override the placement policy before recording"
+    )
+    trace_replay = trace_sub.add_parser(
+        "replay", parents=[common],
+        help="re-execute a recorded trace file as a 'trace' job",
+    )
+    trace_replay.add_argument(
+        "trace", help="trace file (.trace.jsonl) written by 'trace record'"
+    )
+    trace_replay.add_argument(
+        "--routing", default=None,
+        help="replay under this routing algorithm instead of the recorded one",
+    )
+    trace_replay.add_argument(
+        "--placement", default=None,
+        help="replay under this placement policy instead of the recorded one",
+    )
+    trace_replay.add_argument(
+        "--name", default=None, metavar="SCENARIO",
+        help="scenario name for the replay run (default: trace/<recorded app>)",
+    )
+    trace_replay.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="record the replay's metrics into this result store "
+             "(readable later with 'dragonfly-sim report trace/<name>')",
+    )
+
     report = sub.add_parser(
         "report", parents=[common],
         help="render a report from a populated result store (no simulation)",
@@ -217,8 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "name",
         help="report name: table1, table2, mixed, "
-             "pairwise/<Target>+<Background>, synthetic/<Target>, or "
-             "loadcurve/<pattern> (latency vs offered load, per routing)",
+             "pairwise/<Target>+<Background>, synthetic/<Target>, "
+             "loadcurve/<pattern> (latency vs offered load, per routing), "
+             "ml/<pattern>, or trace/<name>",
     )
     report.add_argument(
         "--store", default=str(DEFAULT_STORE_PATH), metavar="PATH",
@@ -507,6 +565,101 @@ def _run_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace_record(args: argparse.Namespace) -> int:
+    from repro.traces import record_scenario, trace_hash
+
+    scenarios = _resolve_scenarios(args.scenario)
+    if len(scenarios) != 1:
+        print(
+            f"error: {args.scenario!r} describes {len(scenarios)} scenarios; "
+            "'trace record' records one at a time",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
+    if args.routing is not None:
+        overrides["routing"] = args.routing
+    if args.placement is not None:
+        overrides["placement"] = args.placement
+    if hasattr(args, "seed"):
+        overrides["seed"] = args.seed
+    if hasattr(args, "scale"):
+        overrides["scale"] = args.scale
+    scenario = scenarios[0].with_updates(**overrides) if overrides else scenarios[0]
+    _, traces = record_scenario(scenario)
+    if args.job is not None:
+        if args.job not in traces:
+            print(
+                f"error: scenario {scenario.name!r} has no job {args.job!r}; "
+                f"its jobs are {sorted(traces)}",
+                file=sys.stderr,
+            )
+            return 2
+        traces = {args.job: traces[args.job]}
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    stem = scenario.name.replace("/", "-")
+    for job_name in sorted(traces):
+        trace = traces[job_name]
+        path = outdir / f"{stem}.{job_name}.trace.jsonl"
+        trace.dump(path)
+        print(
+            f"wrote {path} ({trace.op_count} ops, hash {trace_hash(trace)}; "
+            f"replay with: dragonfly-sim trace replay {path})"
+        )
+    return 0
+
+
+def _run_trace_replay(args: argparse.Namespace) -> int:
+    from repro.traces import TraceError, replay_scenario
+
+    if hasattr(args, "scale"):
+        print(
+            "error: --scale does not apply to trace replay (a trace fixes "
+            "every message size; re-record at the new scale instead)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        scenario = replay_scenario(
+            args.trace,
+            routing=args.routing,
+            placement=args.placement,
+            seed=getattr(args, "seed", None),
+            name=args.name,
+        )
+    except (TraceError, OSError) as exc:
+        print(f"error: cannot replay {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    result = scenario.run()
+    if args.store:
+        try:
+            with ResultStore(args.store) as store:
+                recorded = store.record_run(scenario, result)
+        except sqlite3.DatabaseError as exc:
+            print(f"error: {args.store!r} is not a writable result store: {exc}", file=sys.stderr)
+            return 2
+        note = "" if recorded else " (already stored; any missing metrics were backfilled)"
+        print(f"recorded {scenario.name} into {args.store}{note}", file=sys.stderr)
+    record = result.record("trace")
+    print(
+        format_table(
+            [
+                {
+                    "scenario": scenario.name,
+                    "routing": scenario.config.routing.algorithm,
+                    "placement": scenario.placement,
+                    "seed": scenario.config.seed,
+                    "makespan_ns": result.makespan_ns,
+                    "comm_time_ns": float(record.mean_comm_time),
+                    "total_msg_bytes": float(record.total_bytes_sent),
+                }
+            ]
+        )
+    )
+    return 0
+
+
 def _parse_knobs(specs: Optional[List[str]]) -> Optional[dict]:
     """Parse repeated ``JOB:KEY=VALUE`` --knob flags into {job: {key: value}}.
 
@@ -614,6 +767,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "run":
         return _run_run(args)
+    if args.command == "trace":
+        if args.trace_command == "record":
+            return _run_trace_record(args)
+        return _run_trace_replay(args)
     if args.command == "report":
         return _run_report(args)
     if args.command == "scenarios":

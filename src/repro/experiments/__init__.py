@@ -34,6 +34,7 @@ from repro.experiments.scenario import (
     get_scenario,
     load_scenarios,
     mixed_scenario,
+    ml_scenario,
     pairwise_scenario,
     register_scenario,
     scenario_hash,
@@ -58,6 +59,7 @@ __all__ = [
     "load_scenarios",
     "mixed_scenario",
     "mixed_workload_specs",
+    "ml_scenario",
     "pairwise_scenario",
     "pairwise_specs",
     "register_scenario",

@@ -27,12 +27,14 @@ __all__ = [
     "AppSpec",
     "BENCH_RANKS",
     "MIXED_WORKLOAD_FRACTIONS",
+    "ML_RANKS",
     "PAPER_TABLE2_JOB_SIZES",
     "ROUTINGS",
     "SYNTHETIC_RANKS",
     "bench_config",
     "bench_spec",
     "mixed_workload_specs",
+    "ml_spec",
     "pairwise_specs",
     "synthetic_spec",
     "table1_specs",
@@ -86,6 +88,17 @@ SYNTHETIC_RANKS: Dict[str, int] = {
     "bursty": 32,
 }
 
+#: Benchmark-scale rank counts of the ML-collective training-traffic family
+#: (see :mod:`repro.workloads.mlcollectives`).  32 ranks keep the ring and
+#: all-to-all schedules comparable with the synthetic catalog; the pipeline
+#: runs 16 stages (deep enough to fill, shallow enough that the chain's
+#: serial ramp stays cheap).
+ML_RANKS: Dict[str, int] = {
+    "ml.ring_allreduce": 32,
+    "ml.moe_alltoall": 32,
+    "ml.pipeline_p2p": 16,
+}
+
 #: Rank counts used when two applications co-run on the 72-node system.  As
 #: in the paper the pair together fills most of the machine (the paper splits
 #: the 1,056-node system in half per application).
@@ -100,6 +113,7 @@ PAIRWISE_RANKS: Dict[str, int] = {
     "DL": 32,
     "LULESH": 27,
     **SYNTHETIC_RANKS,
+    **ML_RANKS,
 }
 
 #: Extra iterations given to the *background* application of a pairwise run so
@@ -124,6 +138,11 @@ BACKGROUND_ITERATION_BOOST: Dict[str, int] = {
     "transpose": 60,
     "hotspot": 60,
     "bursty": 90,  # only duty_cycle of its iterations inject
+    # ML collectives move larger per-iteration volumes than the synthetic
+    # patterns, so a moderate boost keeps them active for a full target run.
+    "ml.ring_allreduce": 8,
+    "ml.moe_alltoall": 8,
+    "ml.pipeline_p2p": 6,
 }
 
 
@@ -258,6 +277,28 @@ def synthetic_spec(
         )
     ranks = num_ranks if num_ranks is not None else SYNTHETIC_RANKS[pattern]
     return AppSpec(pattern, ranks, kwargs, start_time)
+
+
+def ml_spec(
+    pattern: str, num_ranks: Optional[int] = None, start_time: float = 0.0, **kwargs: Any
+) -> AppSpec:
+    """Benchmark-scale spec for one ML-collective pattern.
+
+    ``pattern`` accepts the registry name with or without the ``ml.`` prefix
+    (``"ring_allreduce"`` == ``"ml.ring_allreduce"``); ``kwargs`` carry the
+    pattern knobs (``payload_bytes``, ``capacity_factor``, ``microbatches``,
+    …).  Rank counts default to :data:`ML_RANKS`.
+    """
+    from repro.workloads import resolve_application
+
+    name = pattern if pattern.startswith("ml.") else f"ml.{pattern}"
+    name = resolve_application(name)
+    if name not in ML_RANKS:
+        raise ValueError(
+            f"{pattern!r} is not an ML-collective pattern; choose from {sorted(ML_RANKS)}"
+        )
+    ranks = num_ranks if num_ranks is not None else ML_RANKS[name]
+    return AppSpec(name, ranks, kwargs, start_time)
 
 
 def table1_specs(scale: float = 1.0) -> List[AppSpec]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.config import SimulationConfig
 from repro.core.engine import Simulator
@@ -22,6 +22,9 @@ from repro.placement.allocator import NodeAllocator
 from repro.stats.appstats import ApplicationRecord
 from repro.stats.collector import StatsCollector
 from repro.workloads import Application, create_application, resolve_application
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traces.recorder import TraceRecorder
 
 __all__ = ["RunResult", "run_standalone", "run_workloads"]
 
@@ -99,11 +102,15 @@ def _execute(
     specs: Sequence[AppSpec],
     placement: Union[str, Placement],
     require_completion: bool = True,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> RunResult:
     """Build the simulator stack and run it (core behind ``Scenario.run``).
 
     ``placement`` may be a policy name or an already-constructed
-    :class:`~repro.placement.Placement` instance.
+    :class:`~repro.placement.Placement` instance.  ``recorder`` optionally
+    attaches a :class:`~repro.traces.recorder.TraceRecorder` to the engine
+    before any program runs (pure observation — the simulation is identical
+    with or without it).
     """
     if not specs:
         raise ValueError("at least one application spec is required")
@@ -119,6 +126,7 @@ def _execute(
     sim = Simulator()
     network = DragonflyNetwork(sim, config)
     engine = MpiEngine(network)
+    engine.recorder = recorder
     allocator = NodeAllocator(network.num_nodes)
     policy = placement if isinstance(placement, Placement) else create_placement(placement)
     placement_rng = network.rng.get("placement")

@@ -38,14 +38,17 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional,
 
 if TYPE_CHECKING:  # pragma: no cover - runner imports scenario at runtime
     from repro.experiments.runner import RunResult
+    from repro.traces.recorder import TraceRecorder
 
 from repro.config import RoutingConfig, SimulationConfig, SystemConfig
 from repro.experiments.configs import (
     BENCH_RANKS,
+    ML_RANKS,
     SYNTHETIC_RANKS,
     bench_config,
     bench_spec,
     mixed_workload_specs,
+    ml_spec,
     pairwise_specs,
     synthetic_spec,
 )
@@ -63,6 +66,7 @@ __all__ = [
     "loadcurve_scenario",
     "mixed_scenario",
     "mixed_solo_scenarios",
+    "ml_scenario",
     "pairwise_scenario",
     "register_scenario",
     "scenario_hash",
@@ -95,7 +99,7 @@ _OPTIONAL_SIM_KNOBS: Dict[str, object] = {
 }
 
 _TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
-_JOB_KEYS = frozenset({"name", "num_ranks", "kwargs", "start_time"})
+_JOB_KEYS = frozenset({"name", "num_ranks", "kwargs", "start_time", "trace_hash"})
 
 
 def _strict_dataclass(cls: type, data: dict, where: str) -> Any:
@@ -121,6 +125,15 @@ def _job_to_dict(spec: AppSpec) -> dict:
     # with it every sweep-cache and result-store key) is preserved exactly.
     if spec.start_time != 0.0:
         doc["start_time"] = spec.start_time
+    # File-backed trace-replay jobs fold the trace file's *content* hash into
+    # the serialized form (and thus into scenario_hash), so editing a trace
+    # file invalidates cached results.  Emitted only for such jobs — every
+    # other job keeps its historical byte form.  Inline trace payloads need
+    # no extra key: their content already sits wholesale in kwargs.
+    if spec.name == "trace" and isinstance(spec.kwargs.get("trace"), str):
+        from repro.traces.format import trace_file_hash
+
+        doc["trace_hash"] = trace_file_hash(spec.kwargs["trace"])
     return doc
 
 
@@ -138,10 +151,26 @@ def _job_from_dict(data: dict, index: int) -> AppSpec:
     if not isinstance(kwargs, dict):
         raise ValueError(f"{where}.kwargs must be an object")
     try:
-        return AppSpec(data["name"], data["num_ranks"], dict(kwargs), data.get("start_time", 0.0))
+        spec = AppSpec(data["name"], data["num_ranks"], dict(kwargs), data.get("start_time", 0.0))
     except ValueError as exc:
         # AppSpec validates itself; add which job of the document was bad.
         raise ValueError(f"{where}: {exc}") from None
+    declared_hash = data.get("trace_hash")
+    if declared_hash is not None:
+        if spec.name != "trace" or not isinstance(spec.kwargs.get("trace"), str):
+            raise ValueError(
+                f"{where}: 'trace_hash' only applies to file-backed trace-replay jobs"
+            )
+        from repro.traces.format import trace_file_hash
+
+        actual_hash = trace_file_hash(spec.kwargs["trace"])
+        if actual_hash != declared_hash:
+            raise ValueError(
+                f"{where}: trace file {spec.kwargs['trace']!r} has content hash "
+                f"{actual_hash}, but the scenario declares {declared_hash} "
+                f"(the trace changed since this scenario was serialized)"
+            )
+    return spec
 
 
 @dataclass(frozen=True)
@@ -346,16 +375,25 @@ class Scenario:
         )
 
     # ---------------------------------------------------------------- execution
-    def run(self, require_completion: bool = True) -> "RunResult":
+    def run(
+        self,
+        require_completion: bool = True,
+        recorder: Optional["TraceRecorder"] = None,
+    ) -> "RunResult":
         """Build the full simulator stack for this scenario and run it.
 
         Returns a :class:`repro.experiments.runner.RunResult`.  This is the
         execution facade every other entry point (``run_workloads``,
         ``run_standalone``, the sweep workers, the CLI) goes through.
+        ``recorder`` optionally attaches a
+        :class:`~repro.traces.recorder.TraceRecorder` (see
+        :func:`repro.traces.record_scenario` for the convenience wrapper).
         """
         from repro.experiments.runner import _execute
 
-        return _execute(self.config, list(self.jobs), self.placement, require_completion)
+        return _execute(
+            self.config, list(self.jobs), self.placement, require_completion, recorder=recorder
+        )
 
 
 def scenario_hash(scenario: Scenario) -> str:
@@ -555,6 +593,32 @@ def synthetic_scenario(
     )
 
 
+def ml_scenario(
+    pattern: str,
+    routing: str = "par",
+    seed: int = 1,
+    scale: float = 1.0,
+    num_ranks: Optional[int] = None,
+    config: Optional[SimulationConfig] = None,
+    **knobs: Any,
+) -> Scenario:
+    """Standalone scenario for one ML-collective pattern (``ml/<short name>``).
+
+    ``pattern`` accepts the registry name with or without its ``ml.`` prefix
+    (``"ring_allreduce"`` and ``"ml.ring_allreduce"`` are equivalent);
+    ``knobs`` are the pattern's constructor knobs (``payload_bytes``,
+    ``capacity_factor``, ``microbatches``, …), validated at description time
+    by :class:`~repro.experiments.configs.AppSpec`.
+    """
+    spec = ml_spec(pattern, num_ranks=num_ranks, scale=scale, **knobs)
+    short = spec.name.split(".", 1)[1]
+    return Scenario(
+        name=f"ml/{short}",
+        jobs=(spec,),
+        config=config if config is not None else bench_config(routing, seed=seed),
+    )
+
+
 #: Default steady-state window of the ``loadcurve/<pattern>`` presets, ns.
 #: Warmup covers the cold-start transient (empty buffers, cold Q-tables) on
 #: the 72-node bench system; the measurement window is long enough for a few
@@ -653,6 +717,14 @@ def _register_builtin_library() -> None:
         # Steady-state offered-load template (sweep it across offered_loads
         # to trace the latency-throughput curve of the pattern).
         register_scenario(f"loadcurve/{pattern}", partial(loadcurve_scenario, pattern))
+    # The ML-collective catalog (training-style traffic): each pattern
+    # standalone under ml/<short name>, and as a background stressing a UR
+    # target, e.g. `dragonfly-sim run pairwise/UR+ml.ring_allreduce`.
+    for pattern in ML_RANKS:
+        register_scenario(f"ml/{pattern.split('.', 1)[1]}", partial(ml_scenario, pattern))
+        register_scenario(
+            f"pairwise/UR+{pattern}", partial(pairwise_scenario, "UR", pattern)
+        )
     # Each preset target's standalone baseline (the other half of the Fig. 4
     # comparison the result-store reports read).
     for target in dict.fromkeys(

@@ -75,6 +75,10 @@ class SweepPoint:
         :class:`~repro.experiments.scenario.Scenario`, which is what
         ``run_sweep`` actually executes and caches.  New code should build
         scenarios (see :func:`repro.experiments.scenario.expand_grid`).
+
+    ``workload`` accepts the Table I applications (``BENCH_RANKS``) and the
+    ML-collective patterns (``ML_RANKS``, e.g. ``ml.ring_allreduce``); trace
+    replays have no grid-cell shim — sweep them as scenarios.
     """
 
     workload: str
@@ -95,13 +99,14 @@ class SweepPoint:
             raise ValueError(
                 f"unknown system {self.system!r}; choose from {sorted(_SYSTEMS)}"
             )
-        from repro.experiments.configs import BENCH_RANKS
+        from repro.experiments.configs import BENCH_RANKS, ML_RANKS
         from repro.placement import PLACEMENTS
         from repro.routing import resolve_algorithm
 
-        if self.workload not in BENCH_RANKS:
+        if self.workload not in BENCH_RANKS and self.workload not in ML_RANKS:
             raise ValueError(
-                f"unknown application {self.workload!r}; choose from {sorted(BENCH_RANKS)}"
+                f"unknown application {self.workload!r}; choose from "
+                f"{sorted(BENCH_RANKS) + sorted(ML_RANKS)}"
             )
         # Canonicalize aliases ("ugal" -> "ugal-g") so equivalent points share
         # one cache entry; the frozen dataclass requires object.__setattr__.
@@ -119,7 +124,12 @@ class SweepPoint:
 
     def to_scenario(self) -> Scenario:
         """The single-job scenario this point describes (the executable form)."""
-        from repro.experiments.configs import BENCH_LINK_BANDWIDTH_GBPS, bench_spec
+        from repro.experiments.configs import (
+            BENCH_LINK_BANDWIDTH_GBPS,
+            ML_RANKS,
+            bench_spec,
+            ml_spec,
+        )
 
         bandwidth = (
             self.link_bandwidth_gbps
@@ -130,9 +140,13 @@ class SweepPoint:
         config = SimulationConfig(
             system=system, seed=self.seed, record_packets=True
         ).with_routing(self.routing)
+        if self.workload in ML_RANKS:
+            spec = ml_spec(self.workload, num_ranks=self.ranks, scale=self.scale)
+        else:
+            spec = bench_spec(self.workload, num_ranks=self.ranks, scale=self.scale)
         return Scenario(
             name=f"sweep/{self.workload}",
-            jobs=(bench_spec(self.workload, num_ranks=self.ranks, scale=self.scale),),
+            jobs=(spec,),
             config=config,
             placement=self.placement,
         )

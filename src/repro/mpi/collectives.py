@@ -14,6 +14,11 @@ paper describes them):
 * **Barrier** — an 8-byte allreduce.
 * **Allgather** — a ring where every rank forwards the chunk it received in
   the previous round.
+* **Reduce-scatter / ring allreduce** — the bandwidth-optimal ring algorithm
+  used by ML training frameworks (NCCL-style): ``n-1`` reduce-scatter rounds
+  leave each rank with one reduced ``1/n`` chunk, and a ring allgather
+  redistributes the chunks.  Every round moves one chunk per rank, so each
+  rank sends ``2·(n-1)·(size/n)`` bytes total.
 
 All collectives operate on an explicit ``group`` (list of participating
 ranks) so applications such as FFT3D can run row/column sub-communicators.
@@ -35,6 +40,8 @@ __all__ = [
     "tree_broadcast",
     "barrier",
     "ring_allgather",
+    "ring_allreduce",
+    "ring_reduce_scatter",
     "tree_children",
     "tree_parent",
 ]
@@ -145,14 +152,17 @@ def barrier(ctx: "RankContext", group: Optional[Sequence[int]] = None) -> Iterat
 
 
 def ring_allgather(
-    ctx: "RankContext", size_per_rank: int, group: Optional[Sequence[int]] = None
+    ctx: "RankContext",
+    size_per_rank: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Optional[int] = None,
 ) -> Iterator["WaitOp"]:
     """Allgather via the ring algorithm (each rank forwards what it received)."""
     members, index = _group_and_index(ctx, group)
     size = len(members)
     if size <= 1 or size_per_rank <= 0:
         return
-    base_tag = ctx.next_collective_tag()
+    base_tag = ctx.next_collective_tag() if tag is None else tag
     right = members[(index + 1) % size]
     left = members[(index - 1) % size]
     for round_index in range(size - 1):
@@ -160,3 +170,51 @@ def ring_allgather(
         send = ctx.isend(right, size_per_rank, tag=round_tag)
         recv = ctx.irecv(left, tag=round_tag)
         yield ctx.waitall([send, recv])
+
+
+def ring_reduce_scatter(
+    ctx: "RankContext",
+    size: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Optional[int] = None,
+) -> Iterator["WaitOp"]:
+    """Reduce-scatter via the ring algorithm (first half of a ring allreduce).
+
+    ``size`` is the *full* vector size; each of the ``n-1`` rounds circulates
+    one ``size // n`` chunk (at least one byte) to the right neighbour while
+    receiving another from the left, so every rank ends the rounds holding
+    one fully-reduced chunk.
+    """
+    members, index = _group_and_index(ctx, group)
+    group_size = len(members)
+    if group_size <= 1 or size <= 0:
+        return
+    chunk = max(1, size // group_size)
+    base_tag = ctx.next_collective_tag() if tag is None else tag
+    right = members[(index + 1) % group_size]
+    left = members[(index - 1) % group_size]
+    for round_index in range(group_size - 1):
+        round_tag = base_tag - round_index
+        send = ctx.isend(right, chunk, tag=round_tag)
+        recv = ctx.irecv(left, tag=round_tag)
+        yield ctx.waitall([send, recv])
+
+
+def ring_allreduce(
+    ctx: "RankContext", size: int, group: Optional[Sequence[int]] = None
+) -> Iterator["WaitOp"]:
+    """Bandwidth-optimal ring allreduce: reduce-scatter, then ring allgather.
+
+    The algorithm behind data-parallel training gradient exchange: ``2·(n-1)``
+    rounds each moving a ``size // n`` chunk, for ``2·(n-1)·(size/n)`` bytes
+    sent per rank regardless of group size.
+    """
+    members, _ = _group_and_index(ctx, group)
+    group_size = len(members)
+    if group_size <= 1 or size <= 0:
+        return
+    chunk = max(1, size // group_size)
+    scatter_tag = ctx.next_collective_tag()
+    gather_tag = ctx.next_collective_tag()
+    yield from ring_reduce_scatter(ctx, size, group=members, tag=scatter_tag)
+    yield from ring_allgather(ctx, chunk, group=members, tag=gather_tag)

@@ -24,6 +24,7 @@ import math
 from typing import TYPE_CHECKING, Callable, Dict, Generator, Iterator, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.traces.recorder import TraceRecorder
     from repro.workloads.base import Application
 
 from repro.core.events import EventKind
@@ -202,6 +203,14 @@ class RankContext:
         """Ring allgather."""
         return _collectives.ring_allgather(self, size_per_rank, group=group)
 
+    def reduce_scatter(self, size_bytes: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
+        """Ring reduce-scatter (``yield from`` this inside a program)."""
+        return _collectives.ring_reduce_scatter(self, size_bytes, group=group)
+
+    def ring_allreduce(self, size_bytes: int, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
+        """Bandwidth-optimal ring allreduce (reduce-scatter + allgather)."""
+        return _collectives.ring_allreduce(self, size_bytes, group=group)
+
     def barrier(self, group: Optional[Sequence[int]] = None) -> Iterator[WaitOp]:
         """Group barrier."""
         return _collectives.barrier(self, group=group)
@@ -250,6 +259,10 @@ class MpiEngine:
         self._node_to_rank: Dict[tuple, int] = {}
         self._pending_sends: Dict[tuple, dict] = {}
         self._pending_recv_xid: Dict[tuple, RecvRequest] = {}
+        #: Optional observer mirroring every executed primitive into a trace
+        #: (see repro.traces).  Pure observation: attaching one never changes
+        #: the simulation.
+        self.recorder: Optional["TraceRecorder"] = None
         network.on_message_delivered = self._on_message_delivered
 
     # ------------------------------------------------------------ job setup
@@ -344,13 +357,25 @@ class MpiEngine:
             value = None
             if isinstance(operation, ComputeOp):
                 if operation.duration <= 0:
+                    # Skipped identically on record and on replay (the
+                    # recorder hook sits below), keeping traces minimal.
                     continue
+                if self.recorder is not None:
+                    self.recorder.record_compute(
+                        state.job, state.rank, operation.duration, self.sim.now
+                    )
                 state.job.record.add_compute_time(state.rank, operation.duration)
                 self.sim.schedule(
                     operation.duration, self._advance, state, None, kind=EventKind.COMPUTE_DONE
                 )
                 return
             if isinstance(operation, WaitOp):
+                # Record the full request list before the completed-filter so
+                # replay re-issues the identical wait set.
+                if self.recorder is not None:
+                    self.recorder.record_wait(
+                        state.job, state.rank, operation.requests, self.sim.now
+                    )
                 incomplete = [r for r in operation.requests if not r.completed]
                 if not incomplete:
                     continue
@@ -381,6 +406,10 @@ class MpiEngine:
             raise ValueError(f"destination rank {dst_rank} outside job {job.name}")
         size_bytes = max(1, int(size_bytes))
         request = SendRequest(src_rank, dst_rank, tag, size_bytes)
+        if self.recorder is not None:
+            self.recorder.record_send(
+                job, src_rank, dst_rank, size_bytes, tag, request, self.sim.now
+            )
         job.record.record_send(src_rank, size_bytes)
         xid = next(_xid_counter)
         envelope = Envelope(src_rank, dst_rank, tag, size_bytes, xid)
@@ -431,6 +460,8 @@ class MpiEngine:
     def irecv(self, job: MpiJob, rank: int, src_rank: int, tag: int) -> RecvRequest:
         """Post a non-blocking receive and match it against early arrivals."""
         request = RecvRequest(rank, src_rank, tag)
+        if self.recorder is not None:
+            self.recorder.record_recv(job, rank, src_rank, tag, request, self.sim.now)
         mailbox = self._mailboxes[(job.job_id, rank)]
         matched = mailbox.post(request)
         if matched is not None:

@@ -40,10 +40,15 @@ Per-application keys (one per job ``<app>``):
 ==============================  ===============================================
 
 Applications that expose ``pattern_metrics()`` — the synthetic traffic
-family of :mod:`repro.workloads.synthetic` — additionally contribute one
-numeric per-app row per pattern knob (``hot_fraction/hotspot``,
-``duty_cycle/bursty``, ``send_iterations/<pattern>`` …), so stored sweeps
-over pattern knobs stay self-describing.
+family of :mod:`repro.workloads.synthetic` and the ML-collective family of
+:mod:`repro.workloads.mlcollectives` — additionally contribute one numeric
+per-app row per pattern knob (``hot_fraction/hotspot``,
+``duty_cycle/bursty``, ``payload_bytes/ml.ring_allreduce``,
+``capacity_factor/ml.moe_alltoall`` …), so stored sweeps over pattern knobs
+stay self-describing.  Trace replays store their per-app metrics under the
+job name ``trace`` (``comm_time_ns/trace`` …) like any other application;
+the record→replay equivalence contract of :mod:`repro.traces` is stated
+over exactly these per-app rows.
 
 ``packet_latency_mean_ns``/``packet_latency_p99_ns`` are added when the run
 recorded per-packet latencies (``record_packets`` and at least one packet).

@@ -1,0 +1,125 @@
+"""Trace-driven workloads: record any simulated job, replay it anywhere.
+
+The subsystem has three parts (see docs/traces.md):
+
+* :mod:`repro.traces.format` — the versioned JSON-lines trace format
+  (per-rank ordered send/recv/wait/compute records) with a strict
+  parser/writer and a content hash that is folded into ``scenario_hash``
+  for file-backed trace jobs;
+* :mod:`repro.traces.recorder` — :class:`TraceRecorder`, the engine hook
+  that captures every MPI-level operation of a run (attach one via
+  ``Scenario.run(recorder=...)`` or :func:`record_scenario`);
+* :class:`repro.workloads.trace.TraceReplay` — the ``"trace"`` workload that
+  replays a trace file or inline payload like any other application
+  (``AppSpec(name="trace", kwargs={"trace": ...})``).
+
+The contract binding them: recording a job and replaying its trace under the
+same configuration reproduces the original run's per-app metrics
+bit-identically (``tests/test_traces.py`` enforces this across Table I apps
+and routing algorithms).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+from repro.traces.format import (
+    TRACE_VERSION,
+    ComputeRecord,
+    RecvRecord,
+    SendRecord,
+    Trace,
+    TraceError,
+    TraceRecord,
+    WaitRecord,
+    trace_file_hash,
+    trace_hash,
+)
+from repro.traces.recorder import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import RunResult
+    from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "TRACE_VERSION",
+    "ComputeRecord",
+    "RecvRecord",
+    "SendRecord",
+    "Trace",
+    "TraceError",
+    "TraceRecord",
+    "TraceRecorder",
+    "WaitRecord",
+    "record_scenario",
+    "replay_scenario",
+    "trace_file_hash",
+    "trace_hash",
+]
+
+
+def record_scenario(
+    scenario: "Scenario", require_completion: bool = True
+) -> Tuple["RunResult", Dict[str, Trace]]:
+    """Run ``scenario`` with a recorder attached and return per-job traces.
+
+    Returns ``(result, traces)`` where ``traces`` maps each job name to its
+    recorded :class:`Trace`.  Every trace embeds the recording scenario's
+    serialized form, which is what :func:`replay_scenario` rebuilds the
+    system from.  The run itself is bit-identical to an unrecorded one.
+    """
+    recorder = TraceRecorder()
+    result = scenario.run(require_completion=require_completion, recorder=recorder)
+    document = scenario.to_dict()
+    return result, recorder.traces(result.engine.jobs, scenario=document)
+
+
+def replay_scenario(
+    trace: Union[str, Path, Trace, Dict[str, Any]],
+    *,
+    routing: Optional[str] = None,
+    placement: Optional[str] = None,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> "Scenario":
+    """Build the scenario that replays ``trace`` as a single ``"trace"`` job.
+
+    ``trace`` may be a trace file path (kept as a path in the job's kwargs,
+    so the scenario stays small and the file's content hash lands in
+    ``scenario_hash``), an in-memory :class:`Trace`, or a plain payload dict
+    (embedded inline).  The system, routing, placement and seed default to
+    the recording scenario embedded in the trace (falling back to the bench
+    defaults for header-only traces); pass ``routing``/``placement``/``seed``
+    to replay the same traffic under different conditions.  The scenario is
+    named ``trace/<recorded app>`` unless ``name`` overrides it.
+    """
+    from repro.experiments.configs import AppSpec, bench_config
+    from repro.experiments.scenario import Scenario
+
+    if isinstance(trace, (str, Path)):
+        loaded = Trace.load(trace)
+        payload: Union[str, Dict[str, Any]] = str(trace)
+    elif isinstance(trace, Trace):
+        loaded = trace
+        payload = loaded.to_payload()
+    else:
+        loaded = Trace.from_payload(trace)
+        payload = loaded.to_payload()
+
+    if loaded.scenario is not None:
+        base = Scenario.from_dict(loaded.scenario)
+        config = base.config
+        base_placement = base.placement
+    else:
+        config = bench_config("par")
+        base_placement = "random"
+    scenario = Scenario(
+        name=name if name is not None else f"trace/{loaded.app}",
+        jobs=(AppSpec("trace", loaded.num_ranks, {"trace": payload}),),
+        config=config,
+        placement=base_placement,
+    )
+    if routing is not None or placement is not None or seed is not None:
+        scenario = scenario.with_updates(routing=routing, placement=placement, seed=seed)
+    return scenario

@@ -1,0 +1,488 @@
+"""Versioned JSON-lines communication traces (the on-disk record→replay form).
+
+A *trace* is the complete MPI-level transcript of one simulated job: for every
+rank, the ordered list of operations its program issued — ``send`` / ``recv`` /
+``wait`` / ``compute`` — with byte counts, tags and the logical (simulated)
+timestamp at which the engine executed each record.  Traces are produced by
+:class:`repro.traces.recorder.TraceRecorder` and consumed by the ``trace``
+workload (:class:`repro.workloads.trace.TraceReplay`), whose contract is that
+replaying a recorded job reproduces the original run's per-app metrics
+bit-identically (see docs/traces.md and ``tests/test_traces.py``).
+
+On-disk format (version :data:`TRACE_VERSION`) is JSON lines:
+
+* line 1 — a ``{"kind": "header", ...}`` object with the format version, the
+  recorded application name, ``num_ranks``, the total op count, the recorded
+  app's analytic traffic intensities (``peak_ingress_bytes``,
+  ``message_volume_per_rank`` — replay reports these so flattened metrics
+  match the original app's), and optionally the recording scenario document;
+* one ``{"kind": "op", "rank": r, "op": ..., ...}`` object per operation,
+  grouped by rank in rank order, each rank's ops in program order;
+* a final ``{"kind": "end", "ops": n}`` object, so a truncated file is
+  *always* detected as such rather than silently replaying a prefix.
+
+The parser is strict: unknown keys, missing fields, wrong types, rank or
+wait-index references out of range, version mismatches and truncation all
+raise :class:`TraceError` naming the offending ``file:line`` and, for op
+records, the rank and per-rank op index.  :func:`trace_hash` is the content
+hash folded into ``scenario_hash`` for file-backed trace jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "TRACE_VERSION",
+    "ComputeRecord",
+    "RecvRecord",
+    "SendRecord",
+    "Trace",
+    "TraceError",
+    "TraceRecord",
+    "WaitRecord",
+    "trace_file_hash",
+    "trace_hash",
+]
+
+#: Format version written to (and required from) every trace file.
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Malformed, truncated or version-mismatched trace input."""
+
+
+# ------------------------------------------------------------------ records
+@dataclass(frozen=True)
+class SendRecord:
+    """One non-blocking send: ``isend(dst_rank, size_bytes, tag)``."""
+
+    dst_rank: int
+    size_bytes: int
+    tag: int
+    t_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": "send",
+            "dst_rank": self.dst_rank,
+            "size_bytes": self.size_bytes,
+            "tag": self.tag,
+            "t_ns": self.t_ns,
+        }
+
+
+@dataclass(frozen=True)
+class RecvRecord:
+    """One non-blocking receive: ``irecv(src_rank, tag)``.
+
+    ``src_rank``/``tag`` may be ``-1`` (``ANY_SOURCE``/``ANY_TAG`` wildcards).
+    """
+
+    src_rank: int
+    tag: int
+    t_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": "recv", "src_rank": self.src_rank, "tag": self.tag, "t_ns": self.t_ns}
+
+
+@dataclass(frozen=True)
+class WaitRecord:
+    """A wait on earlier requests, referenced by per-rank op index."""
+
+    requests: Tuple[int, ...]
+    t_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": "wait", "requests": list(self.requests), "t_ns": self.t_ns}
+
+
+@dataclass(frozen=True)
+class ComputeRecord:
+    """A local compute interval of ``duration_ns`` simulated nanoseconds."""
+
+    duration_ns: float
+    t_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": "compute", "duration_ns": self.duration_ns, "t_ns": self.t_ns}
+
+
+TraceRecord = Union[SendRecord, RecvRecord, WaitRecord, ComputeRecord]
+
+#: Required payload fields per op kind (beyond the ``"op"`` discriminator).
+_OP_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "send": ("dst_rank", "size_bytes", "tag", "t_ns"),
+    "recv": ("src_rank", "tag", "t_ns"),
+    "wait": ("requests", "t_ns"),
+    "compute": ("duration_ns", "t_ns"),
+}
+
+
+def _require_int(value: Any, where: str, field: str, minimum: Optional[int] = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TraceError(f"{where}: field {field!r} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise TraceError(f"{where}: field {field!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _require_number(value: Any, where: str, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceError(f"{where}: field {field!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _op_from_dict(data: Dict[str, Any], where: str) -> TraceRecord:
+    """Parse one op payload (``{"op": ..., <fields>}``), strictly."""
+    kind = data.get("op")
+    if kind not in _OP_FIELDS:
+        raise TraceError(
+            f"{where}: unknown op {kind!r}; expected one of {sorted(_OP_FIELDS)}"
+        )
+    expected = _OP_FIELDS[kind]
+    missing = [field for field in expected if field not in data]
+    if missing:
+        raise TraceError(f"{where}: {kind} record is missing field(s) {missing}")
+    extra = sorted(set(data) - {"op", *expected})
+    if extra:
+        raise TraceError(f"{where}: {kind} record has unknown field(s) {extra}")
+    t_ns = _require_number(data["t_ns"], where, "t_ns")
+    if kind == "send":
+        return SendRecord(
+            dst_rank=_require_int(data["dst_rank"], where, "dst_rank", minimum=0),
+            size_bytes=_require_int(data["size_bytes"], where, "size_bytes", minimum=1),
+            tag=_require_int(data["tag"], where, "tag"),
+            t_ns=t_ns,
+        )
+    if kind == "recv":
+        return RecvRecord(
+            src_rank=_require_int(data["src_rank"], where, "src_rank", minimum=-1),
+            tag=_require_int(data["tag"], where, "tag"),
+            t_ns=t_ns,
+        )
+    if kind == "wait":
+        requests = data["requests"]
+        if not isinstance(requests, list) or not requests:
+            raise TraceError(
+                f"{where}: field 'requests' must be a non-empty list of op indices"
+            )
+        indices = tuple(
+            _require_int(index, where, "requests", minimum=0) for index in requests
+        )
+        return WaitRecord(requests=indices, t_ns=t_ns)
+    duration_ns = _require_number(data["duration_ns"], where, "duration_ns")
+    if duration_ns <= 0:
+        raise TraceError(f"{where}: field 'duration_ns' must be > 0, got {duration_ns}")
+    return ComputeRecord(duration_ns=duration_ns, t_ns=t_ns)
+
+
+def _validate_rank_ops(
+    rank_ops: Tuple[Tuple[TraceRecord, ...], ...], num_ranks: int, label: str
+) -> None:
+    """Cross-record validation: rank ranges and wait back-references."""
+    for rank, ops in enumerate(rank_ops):
+        for index, op in enumerate(ops):
+            where = f"{label}: rank {rank} op {index}"
+            if isinstance(op, SendRecord) and op.dst_rank >= num_ranks:
+                raise TraceError(
+                    f"{where}: dst_rank {op.dst_rank} out of range for {num_ranks} ranks"
+                )
+            if isinstance(op, RecvRecord) and op.src_rank >= num_ranks:
+                raise TraceError(
+                    f"{where}: src_rank {op.src_rank} out of range for {num_ranks} ranks"
+                )
+            if isinstance(op, WaitRecord):
+                for request_index in op.requests:
+                    if request_index >= index:
+                        raise TraceError(
+                            f"{where}: wait references op {request_index}, which is "
+                            f"not an earlier op of this rank"
+                        )
+                    referenced = ops[request_index]
+                    if not isinstance(referenced, (SendRecord, RecvRecord)):
+                        raise TraceError(
+                            f"{where}: wait references op {request_index}, which is a "
+                            f"{type(referenced).__name__}, not a send/recv"
+                        )
+
+
+# -------------------------------------------------------------------- trace
+@dataclass(frozen=True)
+class Trace:
+    """One job's complete per-rank communication transcript.
+
+    ``rank_ops[r]`` is rank *r*'s ordered op list.  ``peak_ingress_bytes`` and
+    ``message_volume_per_rank`` are the *recorded application's* analytic
+    traffic intensities (Table I columns) — replay reports them verbatim so a
+    replayed run flattens to the same per-app metrics as the original.
+    ``scenario`` optionally embeds the recording scenario's serialized form
+    (provenance; also what ``replay_scenario`` rebuilds the system from).
+    """
+
+    app: str
+    num_ranks: int
+    rank_ops: Tuple[Tuple[TraceRecord, ...], ...]
+    peak_ingress_bytes: int
+    message_volume_per_rank: int
+    scenario: Optional[Dict[str, Any]] = None
+    version: int = TRACE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise TraceError(f"trace num_ranks must be >= 1, got {self.num_ranks}")
+        if len(self.rank_ops) != self.num_ranks:
+            raise TraceError(
+                f"trace has op lists for {len(self.rank_ops)} ranks, "
+                f"expected {self.num_ranks}"
+            )
+        _validate_rank_ops(self.rank_ops, self.num_ranks, "trace")
+
+    @property
+    def op_count(self) -> int:
+        """Total number of op records across all ranks."""
+        return sum(len(ops) for ops in self.rank_ops)
+
+    # ------------------------------------------------------------- payload
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-dict form: the inline-trace value of ``AppSpec(name="trace")``."""
+        payload: Dict[str, Any] = {
+            "version": self.version,  # reprolint: disable=REP201 -- format version is always explicit on disk
+            "app": self.app,
+            "num_ranks": self.num_ranks,
+            "peak_ingress_bytes": self.peak_ingress_bytes,
+            "message_volume_per_rank": self.message_volume_per_rank,
+            "ranks": [[op.to_dict() for op in ops] for ops in self.rank_ops],
+        }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any], label: str = "trace payload") -> "Trace":
+        """Parse and fully validate a plain-dict trace (inline ``AppSpec`` form)."""
+        if not isinstance(payload, dict):
+            raise TraceError(f"{label}: trace payload must be an object")
+        required = (
+            "version",
+            "app",
+            "num_ranks",
+            "peak_ingress_bytes",
+            "message_volume_per_rank",
+            "ranks",
+        )
+        missing = [field for field in required if field not in payload]
+        if missing:
+            raise TraceError(f"{label}: missing field(s) {missing}")
+        extra = sorted(set(payload) - {*required, "scenario"})
+        if extra:
+            raise TraceError(f"{label}: unknown field(s) {extra}")
+        version = _require_int(payload["version"], label, "version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"{label}: unsupported trace version {version} "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        app = payload["app"]
+        if not isinstance(app, str) or not app:
+            raise TraceError(f"{label}: field 'app' must be a non-empty string")
+        num_ranks = _require_int(payload["num_ranks"], label, "num_ranks", minimum=1)
+        ranks = payload["ranks"]
+        if not isinstance(ranks, list) or len(ranks) != num_ranks:
+            raise TraceError(
+                f"{label}: field 'ranks' must be a list of {num_ranks} op lists"
+            )
+        rank_ops: List[Tuple[TraceRecord, ...]] = []
+        for rank, ops in enumerate(ranks):
+            if not isinstance(ops, list):
+                raise TraceError(f"{label}: rank {rank}: op list must be a list")
+            parsed: List[TraceRecord] = []
+            for index, op in enumerate(ops):
+                where = f"{label}: rank {rank} op {index}"
+                if not isinstance(op, dict):
+                    raise TraceError(f"{where}: op record must be an object")
+                parsed.append(_op_from_dict(op, where))
+            rank_ops.append(tuple(parsed))
+        scenario = payload.get("scenario")
+        if scenario is not None and not isinstance(scenario, dict):
+            raise TraceError(f"{label}: field 'scenario' must be an object")
+        return cls(
+            app=app,
+            num_ranks=num_ranks,
+            rank_ops=tuple(rank_ops),
+            peak_ingress_bytes=_require_int(
+                payload["peak_ingress_bytes"], label, "peak_ingress_bytes", minimum=0
+            ),
+            message_volume_per_rank=_require_int(
+                payload["message_volume_per_rank"],
+                label,
+                "message_volume_per_rank",
+                minimum=0,
+            ),
+            scenario=scenario,
+            version=version,
+        )
+
+    # --------------------------------------------------------------- jsonl
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the JSON-lines form (header, per-rank ops, end record)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        header: Dict[str, Any] = {
+            "kind": "header",
+            "version": self.version,  # reprolint: disable=REP201 -- format version is always explicit on disk
+            "app": self.app,
+            "num_ranks": self.num_ranks,
+            "ops": self.op_count,
+            "peak_ingress_bytes": self.peak_ingress_bytes,
+            "message_volume_per_rank": self.message_volume_per_rank,
+        }
+        if self.scenario is not None:
+            header["scenario"] = self.scenario
+        with target.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for rank, ops in enumerate(self.rank_ops):
+                for op in ops:
+                    record = {"kind": "op", "rank": rank}
+                    record.update(op.to_dict())
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(
+                json.dumps({"kind": "end", "ops": self.op_count}, sort_keys=True) + "\n"
+            )
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Parse the JSON-lines form, strictly, with ``file:line``-named errors."""
+        label = str(path)
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise TraceError(f"{label}: cannot read trace file: {error}") from error
+        lines = text.splitlines()
+        if not lines:
+            raise TraceError(f"{label}: empty trace file")
+
+        def parse_line(lineno: int, raw: str) -> Dict[str, Any]:
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise TraceError(f"{label}:{lineno}: invalid JSON: {error}") from error
+            if not isinstance(data, dict):
+                raise TraceError(f"{label}:{lineno}: expected a JSON object")
+            return data
+
+        header = parse_line(1, lines[0])
+        if header.get("kind") != "header":
+            raise TraceError(
+                f"{label}:1: first record must have kind 'header', "
+                f"got {header.get('kind')!r}"
+            )
+        version = _require_int(header.get("version"), f"{label}:1", "version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"{label}:1: unsupported trace version {version} "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        num_ranks = _require_int(header.get("num_ranks"), f"{label}:1", "num_ranks", minimum=1)
+        declared_ops = _require_int(header.get("ops"), f"{label}:1", "ops", minimum=0)
+        app = header.get("app")
+        if not isinstance(app, str) or not app:
+            raise TraceError(f"{label}:1: field 'app' must be a non-empty string")
+        scenario = header.get("scenario")
+        if scenario is not None and not isinstance(scenario, dict):
+            raise TraceError(f"{label}:1: field 'scenario' must be an object")
+
+        rank_ops: List[List[TraceRecord]] = [[] for _ in range(num_ranks)]
+        end_seen = False
+        for lineno, raw in enumerate(lines[1:], start=2):
+            if not raw.strip():
+                continue
+            if end_seen:
+                raise TraceError(f"{label}:{lineno}: content after the end record")
+            data = parse_line(lineno, raw)
+            kind = data.get("kind")
+            if kind == "op":
+                rank = _require_int(data.get("rank"), f"{label}:{lineno}", "rank", minimum=0)
+                if rank >= num_ranks:
+                    raise TraceError(
+                        f"{label}:{lineno}: rank {rank} out of range for "
+                        f"{num_ranks} ranks"
+                    )
+                payload = {key: value for key, value in data.items() if key not in ("kind", "rank")}
+                where = f"{label}:{lineno}: rank {rank} op {len(rank_ops[rank])}"
+                rank_ops[rank].append(_op_from_dict(payload, where))
+            elif kind == "end":
+                end_ops = _require_int(data.get("ops"), f"{label}:{lineno}", "ops", minimum=0)
+                read_ops = sum(len(ops) for ops in rank_ops)
+                if end_ops != read_ops:
+                    raise TraceError(
+                        f"{label}:{lineno}: end record declares {end_ops} ops "
+                        f"but {read_ops} were read"
+                    )
+                end_seen = True
+            elif kind == "header":
+                raise TraceError(f"{label}:{lineno}: duplicate header record")
+            else:
+                raise TraceError(
+                    f"{label}:{lineno}: unknown record kind {kind!r}; "
+                    f"expected 'op' or 'end'"
+                )
+        read_ops = sum(len(ops) for ops in rank_ops)
+        if not end_seen:
+            raise TraceError(
+                f"{label}: truncated trace (no end record; header declares "
+                f"{declared_ops} ops, {read_ops} were read)"
+            )
+        if read_ops != declared_ops:
+            raise TraceError(
+                f"{label}: header declares {declared_ops} ops but {read_ops} were read"
+            )
+        frozen = tuple(tuple(ops) for ops in rank_ops)
+        _validate_rank_ops(frozen, num_ranks, label)
+        return cls(
+            app=app,
+            num_ranks=num_ranks,
+            rank_ops=frozen,
+            peak_ingress_bytes=_require_int(
+                header.get("peak_ingress_bytes"), f"{label}:1", "peak_ingress_bytes", minimum=0
+            ),
+            message_volume_per_rank=_require_int(
+                header.get("message_volume_per_rank"),
+                f"{label}:1",
+                "message_volume_per_rank",
+                minimum=0,
+            ),
+            scenario=scenario,
+            version=version,
+        )
+
+
+# --------------------------------------------------------------------- hash
+def trace_hash(trace: Trace) -> str:
+    """Content hash of a trace (sha256 of the canonical payload, truncated).
+
+    This is the value folded into ``scenario_hash`` for file-backed trace
+    jobs, so editing a trace file invalidates every cached result keyed on it.
+    """
+    blob = json.dumps(trace.to_payload(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+@lru_cache(maxsize=None)
+def trace_file_hash(path: str) -> str:
+    """Content hash of a trace *file* (cached by path).
+
+    Trace files are treated as content-addressed and immutable once recorded —
+    the cache assumes a path's content never changes within one process.
+    Rewriting a trace in place mid-process would serve a stale hash; write a
+    new file instead.
+    """
+    return trace_hash(Trace.load(path))

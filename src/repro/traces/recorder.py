@@ -1,0 +1,146 @@
+"""Trace recording: capture every MPI-level operation a simulated job issues.
+
+A :class:`TraceRecorder` attached to an :class:`~repro.mpi.engine.MpiEngine`
+(via ``engine.recorder``) observes the engine's primitive operations — the
+exact sends, receives, waits and compute intervals each rank program executes
+— and rebuilds them as per-rank :mod:`repro.traces.format` op lists.  Because
+the engine is deterministic given those per-rank op sequences, replaying the
+recorded trace through :class:`repro.workloads.trace.TraceReplay` reproduces
+the original run's per-app metrics bit-identically (the contract tested in
+``tests/test_traces.py``).
+
+The recorder is pure observation: it never schedules events, never mutates
+engine state, and a run with a recorder attached produces exactly the same
+simulation as one without.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.traces.format import (
+    ComputeRecord,
+    RecvRecord,
+    SendRecord,
+    Trace,
+    TraceRecord,
+    WaitRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.mpi.engine import MpiJob
+    from repro.mpi.message import MpiRequest
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects per-rank op lists while an engine runs.
+
+    The engine calls the ``record_*`` hooks at the same points it executes the
+    corresponding operations (after argument normalization, and mirroring its
+    skip rules: zero-duration computes and fully-completed waits are never
+    executed, so they are never recorded).  Wait records reference earlier
+    send/recv ops by per-rank op index; the mapping is kept by request object
+    identity, with strong references held so ``id()`` values stay unique.
+    """
+
+    def __init__(self) -> None:
+        #: (job_id, rank) -> ordered op list.
+        self._ops: Dict[Tuple[int, int], List[TraceRecord]] = {}
+        #: (job_id, rank, id(request)) -> per-rank op index of its send/recv.
+        self._request_index: Dict[Tuple[int, int, int], int] = {}
+        # Strong references: a garbage-collected request could recycle its
+        # id() onto a brand-new request of the same rank, corrupting the map.
+        self._requests: List["MpiRequest"] = []
+
+    # --------------------------------------------------------------- hooks
+    def _append(self, job_id: int, rank: int, record: TraceRecord) -> int:
+        ops = self._ops.setdefault((job_id, rank), [])
+        ops.append(record)
+        return len(ops) - 1
+
+    def record_send(
+        self,
+        job: "MpiJob",
+        src_rank: int,
+        dst_rank: int,
+        size_bytes: int,
+        tag: int,
+        request: "MpiRequest",
+        t_ns: float,
+    ) -> None:
+        """One ``isend`` (size already clamped by the engine)."""
+        index = self._append(
+            job.job_id, src_rank, SendRecord(dst_rank, size_bytes, tag, t_ns)
+        )
+        self._requests.append(request)
+        self._request_index[(job.job_id, src_rank, id(request))] = index
+
+    def record_recv(
+        self,
+        job: "MpiJob",
+        rank: int,
+        src_rank: int,
+        tag: int,
+        request: "MpiRequest",
+        t_ns: float,
+    ) -> None:
+        """One ``irecv`` (wildcards recorded as-is)."""
+        index = self._append(job.job_id, rank, RecvRecord(src_rank, tag, t_ns))
+        self._requests.append(request)
+        self._request_index[(job.job_id, rank, id(request))] = index
+
+    def record_compute(self, job: "MpiJob", rank: int, duration_ns: float, t_ns: float) -> None:
+        """One positive-duration compute interval."""
+        self._append(job.job_id, rank, ComputeRecord(duration_ns, t_ns))
+
+    def record_wait(
+        self, job: "MpiJob", rank: int, requests: Sequence["MpiRequest"], t_ns: float
+    ) -> None:
+        """One executed wait, referencing the full request list as recorded.
+
+        The engine calls this *before* filtering already-completed requests,
+        so replay re-issues the identical wait set and the engine's own
+        "everything already done" short-circuit fires identically.
+        """
+        indices: List[int] = []
+        for request in requests:
+            index = self._request_index.get((job.job_id, rank, id(request)))
+            if index is None:
+                raise RuntimeError(
+                    f"cannot record job {job.name!r} rank {rank}: wait references "
+                    f"a request the recorder never saw (recorder attached "
+                    f"mid-run, or a cross-rank request)"
+                )
+            indices.append(index)
+        self._append(job.job_id, rank, WaitRecord(tuple(indices), t_ns))
+
+    # -------------------------------------------------------------- output
+    def trace_for(self, job: "MpiJob", scenario: Optional[Dict[str, Any]] = None) -> Trace:
+        """Build the finished :class:`Trace` of one recorded job.
+
+        ``scenario`` optionally embeds the recording scenario's serialized
+        form (``Scenario.to_dict()``) as provenance — it is what
+        :func:`repro.traces.replay_scenario` rebuilds the system from.
+        """
+        application = job.application
+        if application is None:  # pragma: no cover - engine.start() rejects this
+            raise RuntimeError(f"job {job.name!r} has no application attached")
+        rank_ops = tuple(
+            tuple(self._ops.get((job.job_id, rank), ())) for rank in range(job.num_ranks)
+        )
+        return Trace(
+            app=job.name,
+            num_ranks=job.num_ranks,
+            rank_ops=rank_ops,
+            peak_ingress_bytes=int(application.peak_ingress_bytes()),
+            message_volume_per_rank=int(application.message_volume_per_rank()),
+            scenario=scenario,
+        )
+
+    def traces(
+        self, jobs: Sequence["MpiJob"], scenario: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Trace]:
+        """Per-job traces of every recorded job, keyed by job name."""
+        return {job.name: self.trace_for(job, scenario=scenario) for job in jobs}

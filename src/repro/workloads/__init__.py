@@ -22,6 +22,12 @@ A second, lowercase-named family of *synthetic* traffic patterns
 ``bursty``) lives in :mod:`repro.workloads.synthetic`; they are registered
 alongside the applications and compose with placement, routing and every
 analysis layer.
+
+Two further families round out the registry: the *ML-collective* training
+patterns (``ml.ring_allreduce``, ``ml.moe_alltoall``, ``ml.pipeline_p2p`` —
+see :mod:`repro.workloads.mlcollectives`) and the ``trace`` replay workload
+(:mod:`repro.workloads.trace`), which re-executes any recorded job's
+communication trace (see :mod:`repro.traces`).
 """
 
 from repro.workloads.base import Application, balanced_grid, grid_coords, grid_rank
@@ -34,6 +40,7 @@ from repro.workloads.stencil5d import Stencil5D
 from repro.workloads.cosmoflow import CosmoFlow
 from repro.workloads.dl import DL
 from repro.workloads.lulesh import LULESH
+from repro.workloads.mlcollectives import MLCollective, MoEAllToAll, PipelineP2P, RingAllreduce
 from repro.workloads.synthetic import (
     BitComplement,
     Bursty,
@@ -43,8 +50,10 @@ from repro.workloads.synthetic import (
     SyntheticPattern,
     Transpose,
 )
+from repro.workloads.trace import TraceReplay
 from repro.workloads.registry import (
     APPLICATIONS,
+    ML_COLLECTIVES,
     SYNTHETIC_PATTERNS,
     application_kwarg_default,
     application_kwargs,
@@ -65,11 +74,17 @@ __all__ = [
     "LQCD",
     "LU",
     "LULESH",
+    "MLCollective",
+    "ML_COLLECTIVES",
+    "MoEAllToAll",
     "Permutation",
+    "PipelineP2P",
+    "RingAllreduce",
     "SYNTHETIC_PATTERNS",
     "Shift",
     "Stencil5D",
     "SyntheticPattern",
+    "TraceReplay",
     "Transpose",
     "UniformRandom",
     "application_kwarg_default",

@@ -1,0 +1,288 @@
+"""ML-collective workload family: the traffic of distributed training.
+
+Three patterns cover the communication regimes that dominate modern Dragonfly
+deployments (the ROADMAP's "trace-driven and ML-collective workloads" item):
+
+==================  ===============  =======================================
+Workload            Pattern          Notes
+==================  ===============  =======================================
+ml.ring_allreduce   allreduce-ring   data-parallel gradient exchange via the
+                                     bandwidth-optimal ring (reduce-scatter
+                                     + allgather, NCCL-style)
+ml.moe_alltoall     alltoall-moe     Mixture-of-Experts token routing: an
+                                     all-to-all whose per-destination sizes
+                                     follow a skewed (Dirichlet) expert
+                                     popularity, capped by a capacity factor
+ml.pipeline_p2p     p2p-pipeline     pipeline-parallel stage-to-stage
+                                     microbatch sends (forward + backward)
+==================  ===============  =======================================
+
+Like the synthetic family, these are lowercase-named registry workloads that
+compose with placement, routing, scenarios (``ml/<pattern>`` and
+``pairwise/UR+ml.<pattern>`` presets), sweeps and every analysis layer; the
+per-pattern knobs surface as per-app metrics through ``pattern_metrics``.
+The names are dotted (``ml.ring_allreduce``) because ``/`` is the metric-key
+separator of :mod:`repro.results.schema`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Dict, Iterator
+
+import numpy as np
+
+from repro.workloads.base import Application
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+
+__all__ = ["MoEAllToAll", "PipelineP2P", "RingAllreduce"]
+
+
+class MLCollective(Application):
+    """Shared base of the ML-collective family.
+
+    Adds the synthetic-family conveniences: a deterministic per-iteration RNG
+    shared by every rank (so stochastic patterns agree on sizes without any
+    out-of-band exchange) and the ``pattern_metrics`` hook that
+    ``flatten_run`` records per app.
+    """
+
+    def _rng(self, iteration: int) -> np.random.Generator:
+        """Deterministic per-iteration RNG shared by every rank.
+
+        Seeding mirrors :class:`repro.workloads.synthetic.SyntheticPattern`:
+        a per-class crc32 salt keeps co-running patterns under one seed from
+        silently synchronizing their draws.
+        """
+        salt = zlib.crc32(type(self).name.encode("utf-8"))
+        return np.random.default_rng(((self.seed + 1) * 1_000_003 + iteration, salt))
+
+    def pattern_metrics(self) -> Dict[str, float]:
+        """Numeric pattern knobs recorded per-app by ``flatten_run``."""
+        return {"iterations": float(self.iterations)}
+
+
+class RingAllreduce(MLCollective):
+    """Data-parallel gradient exchange: one ring allreduce per iteration.
+
+    Each iteration computes for ``compute_ns`` (the backward pass producing
+    the gradient) and then allreduces a ``payload_bytes`` gradient vector via
+    the bandwidth-optimal ring algorithm — ``2·(n-1)`` rounds each moving a
+    ``payload/n`` chunk.
+    """
+
+    pattern = "allreduce-ring"
+    name = "ml.ring_allreduce"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        iterations: int = 4,
+        scale: float = 1.0,
+        seed: int = 0,
+        payload_bytes: int = 65536,
+        compute_ns: float = 500.0,
+    ) -> None:
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if payload_bytes < 1:
+            raise ValueError("payload_bytes must be positive")
+        if compute_ns < 0:
+            raise ValueError("compute_ns cannot be negative")
+        self.payload_bytes = int(payload_bytes)
+        self.compute_ns = float(compute_ns)
+
+    def chunk_bytes(self) -> int:
+        """Per-round chunk size of the ring (``scaled payload / n``, min 1)."""
+        return max(1, self.scaled(self.payload_bytes) // self.num_ranks)
+
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
+        payload = self.scaled(self.payload_bytes)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            yield from ctx.ring_allreduce(payload)
+            ctx.end_iteration()
+
+    def peak_ingress_bytes(self) -> int:
+        # One chunk per ring round is handed to the network at a time.
+        return self.chunk_bytes()
+
+    def message_volume_per_rank(self) -> int:
+        return 2 * (self.num_ranks - 1) * self.chunk_bytes() * self.iterations
+
+    def pattern_metrics(self) -> Dict[str, float]:
+        metrics = super().pattern_metrics()
+        metrics["payload_bytes"] = float(self.payload_bytes)
+        return metrics
+
+
+class MoEAllToAll(MLCollective):
+    """Mixture-of-Experts token routing: capacity-factor-skewed all-to-all.
+
+    Every iteration draws a shared expert-popularity vector from a Dirichlet
+    distribution (``alpha`` < 1 concentrates tokens on few experts), caps each
+    expert's share at ``capacity_factor / n`` (tokens routed above an
+    expert's capacity are dropped, as MoE routers do), and exchanges the
+    resulting per-destination token volumes via the ring all-to-all schedule.
+    Because the popularity vector is a deterministic shared draw, senders and
+    receivers agree on every message size with no out-of-band exchange.
+    """
+
+    pattern = "alltoall-moe"
+    name = "ml.moe_alltoall"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        iterations: int = 6,
+        scale: float = 1.0,
+        seed: int = 0,
+        tokens_bytes: int = 32768,
+        capacity_factor: float = 1.25,
+        alpha: float = 0.3,
+        compute_ns: float = 500.0,
+    ) -> None:
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if tokens_bytes < 1:
+            raise ValueError("tokens_bytes must be positive")
+        if capacity_factor <= 0:
+            raise ValueError("capacity_factor must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if compute_ns < 0:
+            raise ValueError("compute_ns cannot be negative")
+        self.tokens_bytes = int(tokens_bytes)
+        self.capacity_factor = float(capacity_factor)
+        self.alpha = float(alpha)
+        self.compute_ns = float(compute_ns)
+        self._share_maps: Dict[int, np.ndarray] = {}
+
+    def expert_shares(self, iteration: int) -> np.ndarray:
+        """Capped per-expert token shares of one iteration (shared draw)."""
+        cached = self._share_maps.get(iteration)
+        if cached is None:
+            popularity = self._rng(iteration).dirichlet(
+                np.full(self.num_ranks, self.alpha)
+            )
+            cached = np.minimum(popularity, self.capacity_factor / self.num_ranks)
+            self._share_maps[iteration] = cached
+        return cached
+
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
+        n = self.num_ranks
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            shares = self.expert_shares(iteration)
+            base_tag = ctx.next_collective_tag()
+            for round_index in range(1, n):
+                dst = (ctx.rank + round_index) % n
+                src = (ctx.rank - round_index) % n
+                round_tag = base_tag - round_index
+                send = ctx.isend(
+                    dst, self.scaled(self.tokens_bytes * float(shares[dst])), tag=round_tag
+                )
+                recv = ctx.irecv(src, tag=round_tag)
+                yield ctx.waitall([send, recv])
+            if self.compute_ns > 0:
+                yield ctx.compute(self.compute_ns)
+            ctx.end_iteration()
+
+    def peak_ingress_bytes(self) -> int:
+        # One round's message to the hottest (capacity-saturated) expert.
+        return self.scaled(self.tokens_bytes * self.capacity_factor / self.num_ranks)
+
+    def message_volume_per_rank(self) -> int:
+        volume = 0
+        for iteration in range(self.iterations):
+            shares = self.expert_shares(iteration)
+            volume += int(
+                sum(self.scaled(self.tokens_bytes * float(share)) for share in shares)
+            )
+        return volume
+
+    def pattern_metrics(self) -> Dict[str, float]:
+        metrics = super().pattern_metrics()
+        metrics["tokens_bytes"] = float(self.tokens_bytes)
+        metrics["capacity_factor"] = self.capacity_factor
+        metrics["alpha"] = self.alpha
+        return metrics
+
+
+class PipelineP2P(MLCollective):
+    """Pipeline-parallel stage-to-stage microbatch traffic.
+
+    Ranks form a chain of pipeline stages.  Each iteration runs a forward
+    pass — every stage receives a microbatch activation from its predecessor,
+    computes, and forwards to its successor, ``microbatches`` times — and the
+    mirror-image backward pass.  Sends are non-blocking (isends collected and
+    drained at iteration end), so the pipeline fills and steady-state stages
+    overlap exactly as in 1F1B-style schedules.
+    """
+
+    pattern = "p2p-pipeline"
+    name = "ml.pipeline_p2p"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        iterations: int = 3,
+        scale: float = 1.0,
+        seed: int = 0,
+        microbatch_bytes: int = 16384,
+        microbatches: int = 8,
+        compute_ns: float = 400.0,
+    ) -> None:
+        super().__init__(num_ranks, iterations=iterations, scale=scale, seed=seed)
+        if microbatch_bytes < 1:
+            raise ValueError("microbatch_bytes must be positive")
+        if microbatches < 1:
+            raise ValueError("microbatches must be positive")
+        if compute_ns < 0:
+            raise ValueError("compute_ns cannot be negative")
+        self.microbatch_bytes = int(microbatch_bytes)
+        self.microbatches = int(microbatches)
+        self.compute_ns = float(compute_ns)
+
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
+        first = ctx.rank == 0
+        last = ctx.rank == self.num_ranks - 1
+        size_bytes = self.scaled(self.microbatch_bytes)
+        for iteration in range(self.iterations):
+            ctx.begin_iteration(iteration)
+            sends = []
+            forward_tag = ctx.next_collective_tag()
+            for micro in range(self.microbatches):
+                if not first:
+                    yield ctx.recv(ctx.rank - 1, tag=forward_tag - micro)
+                if self.compute_ns > 0:
+                    yield ctx.compute(self.compute_ns)
+                if not last:
+                    sends.append(ctx.isend(ctx.rank + 1, size_bytes, tag=forward_tag - micro))
+            backward_tag = ctx.next_collective_tag()
+            for micro in range(self.microbatches):
+                if not last:
+                    yield ctx.recv(ctx.rank + 1, tag=backward_tag - micro)
+                if self.compute_ns > 0:
+                    yield ctx.compute(self.compute_ns)
+                if not first:
+                    sends.append(ctx.isend(ctx.rank - 1, size_bytes, tag=backward_tag - micro))
+            if sends:
+                yield ctx.waitall(sends)
+            ctx.end_iteration()
+
+    def peak_ingress_bytes(self) -> int:
+        # One microbatch activation (or gradient) at a time per direction.
+        return self.scaled(self.microbatch_bytes)
+
+    def message_volume_per_rank(self) -> int:
+        # Interior stages send one microbatch per direction per microbatch slot.
+        return 2 * self.microbatches * self.iterations * self.scaled(self.microbatch_bytes)
+
+    def pattern_metrics(self) -> Dict[str, float]:
+        metrics = super().pattern_metrics()
+        metrics["microbatch_bytes"] = float(self.microbatch_bytes)
+        metrics["microbatches"] = float(self.microbatches)
+        return metrics

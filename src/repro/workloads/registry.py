@@ -2,9 +2,12 @@
 
 The registry is the single place experiment configurations and the CLI use to
 instantiate workloads by name, so adding a new application only requires
-registering it here.  Two families are registered: the paper's nine proxy
-applications (capitalized names, Table I) and the synthetic traffic patterns
-(lowercase names — see :mod:`repro.workloads.synthetic`).
+registering it here.  Four families are registered: the paper's nine proxy
+applications (capitalized names, Table I), the synthetic traffic patterns
+(lowercase names — see :mod:`repro.workloads.synthetic`), the ML-collective
+training patterns (``ml.``-prefixed — see
+:mod:`repro.workloads.mlcollectives`), and the ``trace`` replay workload
+(:mod:`repro.workloads.trace`).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro.workloads.halo3d import Halo3D
 from repro.workloads.lqcd import LQCD
 from repro.workloads.lu import LU
 from repro.workloads.lulesh import LULESH
+from repro.workloads.mlcollectives import MoEAllToAll, PipelineP2P, RingAllreduce
 from repro.workloads.stencil5d import Stencil5D
 from repro.workloads.synthetic import (
     BitComplement,
@@ -30,10 +34,12 @@ from repro.workloads.synthetic import (
     Shift,
     Transpose,
 )
+from repro.workloads.trace import TraceReplay
 from repro.workloads.uniform_random import UniformRandom
 
 __all__ = [
     "APPLICATIONS",
+    "ML_COLLECTIVES",
     "SYNTHETIC_PATTERNS",
     "application_kwarg_default",
     "application_kwargs",
@@ -51,6 +57,15 @@ SYNTHETIC_PATTERNS: Dict[str, Type[Application]] = {
     "bursty": Bursty,
 }
 
+#: Canonical names of the ML-collective training-traffic family.  Dotted
+#: (not slashed) because ``/`` is the metric-key separator of
+#: :mod:`repro.results.schema`.
+ML_COLLECTIVES: Dict[str, Type[Application]] = {
+    "ml.ring_allreduce": RingAllreduce,
+    "ml.moe_alltoall": MoEAllToAll,
+    "ml.pipeline_p2p": PipelineP2P,
+}
+
 #: Canonical application name -> class.
 APPLICATIONS: Dict[str, Type[Application]] = {
     "UR": UniformRandom,
@@ -63,6 +78,8 @@ APPLICATIONS: Dict[str, Type[Application]] = {
     "DL": DL,
     "LULESH": LULESH,
     **SYNTHETIC_PATTERNS,
+    **ML_COLLECTIVES,
+    "trace": TraceReplay,
 }
 
 _LOWER = {name.lower(): name for name in APPLICATIONS}

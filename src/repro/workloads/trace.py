@@ -1,0 +1,89 @@
+"""Trace replay: the ``"trace"`` workload that re-executes a recorded run.
+
+:class:`TraceReplay` is registered like every other application
+(``AppSpec(name="trace", kwargs={"trace": ...})``) and replays a
+:mod:`repro.traces.format` trace — a file path or an inline payload dict —
+by re-issuing each rank's recorded op sequence verbatim.  Because the MPI
+engine is deterministic given per-rank op sequences (and placement draws
+depend only on rank counts, never on job names), replaying a recording under
+the same configuration reproduces the original run's per-app metrics
+bit-identically; ``tests/test_traces.py`` enforces this contract.
+
+The replayed app reports the *recorded* application's analytic traffic
+intensities (``peak_ingress_bytes``, ``message_volume_per_rank``) from the
+trace header, so flattened metrics line up column-for-column with the
+original run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Union
+
+from repro.traces.format import ComputeRecord, RecvRecord, SendRecord, Trace, WaitRecord
+from repro.workloads.base import Application
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
+    from repro.mpi.engine import RankContext, RankOp
+    from repro.mpi.message import MpiRequest
+
+__all__ = ["TraceReplay"]
+
+
+class TraceReplay(Application):
+    """Replays a recorded trace as a rank program.
+
+    ``trace`` is either a path to a JSON-lines trace file (the usual form —
+    scenarios stay small and the file's content hash folds into
+    ``scenario_hash``) or an inline payload dict (``Trace.to_payload()``
+    form, fully self-contained and serializable).  The trace is parsed and
+    validated strictly at construction, so a bad trace fails when the job is
+    *described*, not mid-simulation.
+    """
+
+    pattern = "trace"
+    name = "trace"
+
+    def __init__(self, num_ranks: int, trace: Union[str, Dict[str, Any]]) -> None:
+        super().__init__(num_ranks)
+        if isinstance(trace, str):
+            self.trace = Trace.load(trace)
+        elif isinstance(trace, dict):
+            self.trace = Trace.from_payload(trace)
+        else:
+            raise TypeError(
+                f"trace must be a trace-file path or an inline payload dict, "
+                f"got {type(trace).__name__}"
+            )
+        if self.trace.num_ranks != num_ranks:
+            raise ValueError(
+                f"trace was recorded with {self.trace.num_ranks} ranks but the "
+                f"job declares {num_ranks}; trace jobs cannot be resized"
+            )
+
+    # ------------------------------------------------------------ interface
+    def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
+        """Re-issue this rank's recorded op sequence verbatim."""
+        ops = self.trace.rank_ops[ctx.rank]
+        requests: Dict[int, "MpiRequest"] = {}
+        # reprolint: hot
+        for index in range(len(ops)):
+            op = ops[index]
+            if isinstance(op, SendRecord):
+                requests[index] = ctx.isend(op.dst_rank, op.size_bytes, tag=op.tag)
+            elif isinstance(op, RecvRecord):
+                requests[index] = ctx.irecv(op.src_rank, tag=op.tag)
+            elif isinstance(op, ComputeRecord):
+                yield ctx.compute(op.duration_ns)
+            elif isinstance(op, WaitRecord):
+                pending: List["MpiRequest"] = []
+                for request_index in op.requests:
+                    pending.append(requests[request_index])
+                yield ctx.waitall(pending)
+
+    def peak_ingress_bytes(self) -> int:
+        """The recorded application's analytic value, from the trace header."""
+        return self.trace.peak_ingress_bytes
+
+    def message_volume_per_rank(self) -> int:
+        """The recorded application's analytic value, from the trace header."""
+        return self.trace.message_volume_per_rank

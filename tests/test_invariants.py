@@ -31,8 +31,8 @@ from repro.routing import ALGORITHMS
 from repro.workloads import create_application
 
 #: Workload pool sampled by the randomized scenarios: a slice of the paper's
-#: applications (one per communication pattern class) plus every synthetic
-#: traffic pattern.
+#: applications (one per communication pattern class), every synthetic
+#: traffic pattern, and the ML-collective training patterns.
 WORKLOAD_POOL = [
     "UR",
     "FFT3D",
@@ -44,6 +44,9 @@ WORKLOAD_POOL = [
     "transpose",
     "hotspot",
     "bursty",
+    "ml.ring_allreduce",
+    "ml.moe_alltoall",
+    "ml.pipeline_p2p",
 ]
 
 #: Scenarios per routing algorithm.  Keep small: each cell builds and runs a
@@ -138,6 +141,34 @@ def test_invariants_hold_for_randomized_scenarios(algorithm, case):
             assert record.finish_time[rank] >= record.start_time[rank]
             assert record.comm_time.get(rank, 0.0) >= 0.0
             assert record.compute_time.get(rank, 0.0) >= 0.0
+
+
+ML_PATTERNS = ["ml.ring_allreduce", "ml.moe_alltoall", "ml.pipeline_p2p"]
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("pattern", ML_PATTERNS)
+def test_ml_collectives_conserve_packets_under_every_routing(pattern, algorithm):
+    """Every ML-collective pattern completes and conserves packets under
+    every routing algorithm — the deadlock-freedom check for the family's
+    hand-built communication schedules (ring rounds, pairwise exchanges,
+    pipeline chains)."""
+    config = SimulationConfig(system=tiny_system(), seed=11).with_routing(algorithm)
+    sim = Simulator()
+    network = DragonflyNetwork(sim, config)
+    engine = MpiEngine(network)
+    allocator = NodeAllocator(network.num_nodes)
+    policy = create_placement("random")
+    placement_rng = network.rng.get("placement")
+    application = create_application(pattern, 6, scale=0.25, iterations=2)
+    nodes = allocator.allocate(pattern, 6, policy, placement_rng)
+    engine.add_job(pattern, nodes, application=application)
+    engine.run(max_events=5_000_000)
+    assert engine.all_finished, f"{pattern} deadlocked under {algorithm}"
+    stats = network.stats
+    assert stats.total_packets_injected > 0
+    assert stats.total_packets_ejected == stats.total_packets_injected
+    assert network.quiescent(), "packets left buffered after completion"
 
 
 def test_packet_conservation_at_measurement_window_cut():

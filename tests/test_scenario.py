@@ -148,6 +148,9 @@ GOLDEN_PRESET_HASHES = {
     "mixed/solo/Stencil5D": "98114d5f3415d5e4223a0fae",
     "mixed/solo/UR": "de9cf7f5a871582db32852d9",
     "mixed/table2": "25bb9f805eb1e7fefa8e03fb",
+    "ml/moe_alltoall": "494737d18152dfa902ae650f",
+    "ml/pipeline_p2p": "03ac80a27de79cbc68e5ac73",
+    "ml/ring_allreduce": "2037e934a347118160548d19",
     "pairwise/CosmoFlow": "fd7dff5929e22ba6368aa23e",
     "pairwise/CosmoFlow+Halo3D": "457af3e271ad3276f65e33c4",
     "pairwise/FFT3D": "349d93fdc952bb2822091299",
@@ -159,6 +162,9 @@ GOLDEN_PRESET_HASHES = {
     "pairwise/UR+bit-complement": "4311743960b135f34aec3b76",
     "pairwise/UR+bursty": "59b928e4f1eb5f5cb8674f4a",
     "pairwise/UR+hotspot": "74122e927c8810e491dc142e",
+    "pairwise/UR+ml.moe_alltoall": "19779f14f6f9fc2713ac4da8",
+    "pairwise/UR+ml.pipeline_p2p": "0a593daa8255514867c9b6fa",
+    "pairwise/UR+ml.ring_allreduce": "fc76e16fc66b306542159635",
     "pairwise/UR+permutation": "cf1fb553e42fc4b344f2cacb",
     "pairwise/UR+shift": "c4ef9a56f3f5d2d9bcfaac5b",
     "pairwise/UR+transpose": "c40863e9b6d9fa1ddad4acf1",
