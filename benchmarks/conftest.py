@@ -22,9 +22,11 @@ Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen
 the sweeps.
 
 After a session that ran any bench driver, a machine-readable summary —
-per-driver wall time plus headline metrics from the bench store — is written
-to ``BENCH_PR7.json`` at the repo root (override with ``REPRO_BENCH_SUMMARY``;
-set it to the empty string to disable).  CI uploads it as an artifact.
+per-driver wall time plus headline metrics from the bench store, and (when
+the backend-comparison driver ran) the backend-vs-reference speedup table —
+is written to ``BENCH_PR8.json`` at the repo root (override with
+``REPRO_BENCH_SUMMARY``; set it to the empty string to disable).  CI uploads
+it as an artifact.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ from typing import Dict, Iterable, Optional
 
 import pytest
 
+from repro.backends import active_backend_name
 from repro.analysis.mixed import MixedResult
 from repro.analysis.pairwise import PairwiseResult
 from repro.experiments.runner import RunResult
@@ -62,14 +65,22 @@ _BENCH_DIR = Path(__file__).resolve().parent
 _STORE_PATH = os.environ.get("REPRO_BENCH_STORE", str(_BENCH_DIR / ".bench-results.sqlite"))
 
 _STORE: Optional[ResultStore] = None
-#: Session-scoped RunResult memo, keyed by scenario hash.  (Scenario itself
-#: is not hashable — AppSpec carries a kwargs dict — so the content hash is
-#: the natural key, and it matches the store's.)
+#: Session-scoped RunResult memo, keyed by (resolved backend, scenario hash).
+#: Scenario itself is not hashable — AppSpec carries a kwargs dict — so the
+#: content hash is the natural key.  The backend must be part of the key
+#: because the hash deliberately ignores the default backend (and the
+#: ``REPRO_BACKEND`` override is invisible to it entirely): two runs of one
+#: scenario under different backends are different *executions*, and the
+#: backend-comparison driver relies on both actually happening.
 _RUNS: Dict[str, RunResult] = {}
 
 
 #: Where the machine-readable suite summary lands ('' disables it).
-_SUMMARY_PATH = os.environ.get("REPRO_BENCH_SUMMARY", str(_BENCH_DIR.parent / "BENCH_PR7.json"))
+_SUMMARY_PATH = os.environ.get("REPRO_BENCH_SUMMARY", str(_BENCH_DIR.parent / "BENCH_PR8.json"))
+
+#: Backend-vs-reference comparison rows, filled by the backend bench driver
+#: (benchmarks/test_backend_comparison.py) via :func:`record_backend_comparison`.
+_BACKEND_COMPARISON: Dict[str, dict] = {}
 
 #: Per-driver (module) wall time and outcome counts, filled by the hook below.
 _DRIVER_TIMES: Dict[str, Dict[str, float]] = {}
@@ -83,7 +94,7 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_runtest_logreport(report):
-    """Accumulate per-driver wall time for the BENCH_PR7.json summary."""
+    """Accumulate per-driver wall time for the BENCH_PR8.json summary."""
     if report.when != "call":
         return
     module = report.nodeid.split("::", 1)[0]
@@ -139,6 +150,8 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "store_headline": _headline_metrics(),
     }
+    if _BACKEND_COMPARISON:
+        summary["backend_comparison"] = dict(sorted(_BACKEND_COMPARISON.items()))
     Path(_SUMMARY_PATH).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 
@@ -152,12 +165,22 @@ def bench_store() -> ResultStore:
 
 def run_scenario(scenario: Scenario) -> RunResult:
     """Run ``scenario`` once per session and record it into the bench store."""
-    key = scenario_hash(scenario)
+    key = f"{active_backend_name(scenario.config)}:{scenario_hash(scenario)}"
     if key not in _RUNS:
         result = scenario.run()
         bench_store().record_run(scenario, result)
         _RUNS[key] = result
     return _RUNS[key]
+
+
+def record_backend_comparison(name: str, row: dict) -> None:
+    """Publish one backend-vs-reference measurement into the session summary.
+
+    ``row`` should carry honest measured numbers (wall seconds per backend,
+    events fired, speedup, whether outputs matched); it lands verbatim under
+    ``backend_comparison`` in ``BENCH_PR8.json``.
+    """
+    _BACKEND_COMPARISON[name] = row
 
 
 def ensure_stored(scenarios: Iterable[Scenario]) -> None:

@@ -1,0 +1,112 @@
+"""Pluggable simulation backends.
+
+A backend is one implementation of the simulator's hot core — event
+calendar, router grant/credit path, NIC, link timing and per-packet stats —
+behind the narrow :class:`~repro.backends.base.SimBackend` seam.  Two are
+built in:
+
+* ``reference`` — the canonical pure-Python components (the default, and
+  the correctness baseline everything else is differentially tested
+  against).
+* ``fast`` — the same algorithms with the per-event Python overhead
+  stripped out; bit-identical to the reference by contract.
+
+Selection is per-run via ``SimulationConfig.backend``, with an environment
+override (``REPRO_BACKEND``) that applies only when the config holds the
+default — so a CI matrix axis can flip the whole suite to ``fast`` without
+touching scenario hashes or stored results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.backends.base import SimBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SimulationConfig
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "SimBackend",
+    "active_backend",
+    "active_backend_name",
+    "backend_names",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: The backend used when a config does not name one.
+DEFAULT_BACKEND = "reference"
+
+#: Environment variable that overrides the backend for default-backend runs.
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: Canonical backend names, in registry order.
+_BACKEND_NAMES: Tuple[str, ...] = ("reference", "fast")
+
+_ALIASES: Dict[str, str] = {
+    "ref": "reference",
+    "baseline": "reference",
+    "python": "reference",
+    "optimized": "fast",
+}
+
+#: Resolved-name → instance cache (instances are built lazily so importing
+#: :mod:`repro.config` — which validates backend *names* — never pulls in
+#: the component modules and their heavier dependencies).
+_INSTANCES: Dict[str, SimBackend] = {}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Canonical names of every registered backend."""
+    return _BACKEND_NAMES
+
+
+def resolve_backend(name: str) -> str:
+    """Normalize ``name`` to a canonical backend name.
+
+    Raises ``ValueError`` naming the valid choices for unknown names; used
+    by ``SimulationConfig`` so a typo fails at construction, not mid-run.
+    """
+    canonical = name.strip().lower()
+    canonical = _ALIASES.get(canonical, canonical)
+    if canonical not in _BACKEND_NAMES:
+        valid = ", ".join(_BACKEND_NAMES)
+        raise ValueError(f"unknown simulation backend {name!r}; valid backends: {valid}")
+    return canonical
+
+
+def get_backend(name: str) -> SimBackend:
+    """The :class:`SimBackend` instance registered under ``name``."""
+    canonical = resolve_backend(name)
+    backend = _INSTANCES.get(canonical)
+    if backend is None:
+        if canonical == "reference":
+            from repro.backends.reference import REFERENCE_BACKEND as backend
+        else:
+            from repro.backends.fast import FAST_BACKEND as backend
+        _INSTANCES[canonical] = backend
+    return backend
+
+
+def active_backend_name(config: "SimulationConfig") -> str:
+    """The backend name ``config`` selects, after the environment override.
+
+    ``REPRO_BACKEND`` applies only when the config holds the default — an
+    explicit ``backend=`` in a scenario always wins, so the override is a
+    pure execution-strategy knob that can never change what a stored or
+    hashed scenario *means*.
+    """
+    if config.backend == DEFAULT_BACKEND:
+        override = os.environ.get(ENV_BACKEND)
+        if override:
+            return resolve_backend(override)
+    return config.backend
+
+
+def active_backend(config: "SimulationConfig") -> SimBackend:
+    """The :class:`SimBackend` instance ``config`` selects (env-aware)."""
+    return get_backend(active_backend_name(config))

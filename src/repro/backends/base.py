@@ -1,0 +1,65 @@
+"""The ``SimBackend`` interface: the hot core behind a narrow seam.
+
+A backend bundles the five component classes that implement the simulator's
+per-event hot core — the event calendar (:class:`~repro.core.engine.Simulator`),
+the router grant/credit path (:class:`~repro.network.router.Router`), the NIC
+injection/ejection path (:class:`~repro.network.nic.Nic`), the link timing
+model (:class:`~repro.network.link.Link`) and the per-packet statistics hooks
+(:class:`~repro.stats.collector.StatsCollector`).  Everything above this seam
+— the MPI engine, workloads, routing algorithms, placement, analysis — is
+shared verbatim between backends.
+
+The contract every backend must satisfy is **bit-equivalence** with the
+reference implementation: for any scenario, an alternative backend must
+produce
+
+* identical :func:`~repro.results.schema.flatten_run` rows,
+* identical recorded traces (``trace_hash``), and
+* identical scenario-store contents.
+
+In practice that means identical ``(time, seq)`` event ordering, identical
+RNG draw order (backends share the one routing instance and its generator),
+and identical floating-point accumulation order.  The differential harness
+in ``tests/test_backend_equivalence.py`` enforces the contract; see
+``docs/backends.md`` for how to add a backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import Simulator
+    from repro.network.link import Link
+    from repro.network.nic import Nic
+    from repro.network.router import Router
+    from repro.stats.collector import StatsCollector
+
+__all__ = ["SimBackend"]
+
+
+@dataclass(frozen=True)
+class SimBackend:
+    """One implementation of the simulation hot core.
+
+    The five classes are drop-in replacements for (usually subclasses of)
+    the reference components, so construction sites — the experiment runner
+    and :class:`~repro.network.network.DragonflyNetwork` — simply instantiate
+    ``backend.<component>_cls`` where they previously named the reference
+    class directly.
+    """
+
+    #: Canonical registry name (``"reference"``, ``"fast"``, …).
+    name: str
+    #: One-line description shown by diagnostics and docs.
+    description: str
+    simulator_cls: Type["Simulator"]
+    router_cls: Type["Router"]
+    nic_cls: Type["Nic"]
+    link_cls: Type["Link"]
+    stats_cls: Type["StatsCollector"]
+
+    def create_simulator(self, trace: bool = False) -> "Simulator":
+        """Build this backend's event calendar."""
+        return self.simulator_cls(trace=trace)

@@ -1,0 +1,725 @@
+"""The ``fast`` backend: the reference hot core, specialized for CPython.
+
+Every class here is a drop-in subclass of its reference component that
+executes the *identical* algorithm with far fewer Python-level operations
+per event.  The contract is bit-equivalence (see ``docs/backends.md`` and
+``tests/test_backend_equivalence.py``): same ``(time, seq)`` event order,
+same RNG draw order, same floating-point accumulation order — so metrics,
+traces and stored rows match the reference byte for byte.
+
+What is optimized, and how:
+
+* **Slot-based event records pushed directly** — the reference calendar
+  already stores plain ``[time, seq, callback, args, kind]`` lists;
+  :class:`FastLink` builds those records inline and ``heappush``-es them
+  itself, skipping the ``schedule()`` wrapper, its negative-delay check and
+  the per-event ``EventHandle`` allocation, and scheduling the *downstream
+  receive method directly* instead of a per-delivery trampoline frame.
+* **Batched same-timestamp draining** — :class:`FastSimulator.run` drains
+  every event already scheduled at the current timestamp in an inner loop
+  that skips the outer loop's clock-store and cutoff bookkeeping.
+* **Flattened router decision tables** — :class:`FastRouter` folds the two
+  topology lookups of the ejection check (``router_of_node`` +
+  ``terminal_port_of_node``) into one numpy-built per-router table
+  (``port if local else -1``, materialized as a plain list because CPython
+  scalar indexing on lists beats numpy scalar indexing in a per-event loop).
+* **Collapsed grant/credit chain** — the reference
+  ``receive → route → arbitrate → grant → route next head`` tail-call chain
+  (~18 Python calls per hop) becomes one iterative loop over inlined
+  buffer/credit state (:meth:`FastRouter._route_head`/:meth:`FastRouter._pump`),
+  with the flow-control invariants (overflow/underflow) preserved because
+  the arbitration guard already establishes them.
+* **Columnar per-packet statistics** — :class:`FastStatsCollector` appends
+  plain tuples on the hot path and materializes
+  :class:`~repro.stats.collector.PacketRecord` objects (and numpy latency
+  arrays) lazily, elementwise-identically to the reference.
+
+Skipped hooks are *proven* skippable at construction time: the routing
+``on_packet_received`` and stats ``record_hop`` calls are elided only when
+the installed class inherits the base no-op implementation.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop
+from heapq import heappush
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import SimBackend
+from repro.core.engine import SimulationError, Simulator
+from repro.core.events import EventKind
+from repro.network.link import Link, LinkKind
+from repro.network.nic import Nic
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.stats.collector import PacketRecord, StatsCollector
+from repro.stats.timeseries import BinnedSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SimulationConfig
+    from repro.network.topology import DragonflyTopology
+    from repro.routing.base import RoutingAlgorithm
+
+__all__ = [
+    "FAST_BACKEND",
+    "FastLink",
+    "FastNic",
+    "FastRouter",
+    "FastSimulator",
+    "FastStatsCollector",
+]
+
+# Bound once: every fast calendar push names its EventKind directly.
+_SERIALIZED = EventKind.LINK_SERIALIZED
+_DELIVERY = EventKind.LINK_DELIVERY
+_CREDIT = EventKind.CREDIT_RETURN
+
+#: Raw per-packet record: (app_id, src, dst, bytes, inject_ns, eject_ns, hops).
+_RawRecord = Tuple[int, int, int, int, float, float, int]
+
+
+class FastSimulator(Simulator):
+    """Reference calendar with a specialized main loop.
+
+    Scheduling, cancellation, ``step()`` and all ``(time, seq)`` ordering
+    rules are inherited unchanged; only ``run()`` is replaced.  Traced and
+    ``max_events``-bounded runs delegate to the reference loop (they are
+    diagnostic modes, not hot paths).
+    """
+
+    # reprolint: hot
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        if self.trace or max_events is not None:
+            return super().run(until=until, max_events=max_events)
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._idled_from = None
+        heap = self._heap
+        try:
+            if until is None:
+                while heap and not self._stopped:
+                    entry = _heappop(heap)
+                    callback = entry[2]
+                    if callback is None:
+                        continue
+                    time = entry[0]
+                    self._now = time
+                    callback(*entry[3])
+                    self._fired += 1
+                    # Batch: every event already scheduled at this timestamp
+                    # fires without re-entering the outer bookkeeping (the
+                    # clock store and stop/cutoff checks at the loop head).
+                    while heap and heap[0][0] == time:
+                        entry = _heappop(heap)
+                        callback = entry[2]
+                        if callback is None:
+                            continue
+                        callback(*entry[3])
+                        self._fired += 1
+                        # Callbacks flip this flag, so it must be re-read
+                        # every iteration — a hoisted local would go stale.
+                        if self._stopped:  # reprolint: disable=REP401 -- mutable stop flag
+                            break
+            else:
+                while heap and not self._stopped:
+                    entry = _heappop(heap)
+                    callback = entry[2]
+                    if callback is None:
+                        continue
+                    time = entry[0]
+                    if time > until:
+                        # Past the bound: put the event back and idle the
+                        # clock to `until` (events at exactly `until` fire).
+                        heappush(heap, entry)
+                        self._now = until
+                        break
+                    self._now = time
+                    callback(*entry[3])
+                    self._fired += 1
+                    # Same-timestamp batch: later events at `time` cannot be
+                    # past `until` (the first one was not), so the cutoff
+                    # check and clock store are skipped for the whole batch.
+                    while heap and heap[0][0] == time:
+                        entry = _heappop(heap)
+                        callback = entry[2]
+                        if callback is None:
+                            continue
+                        callback(*entry[3])
+                        self._fired += 1
+                        if self._stopped:
+                            break
+                now = self._now
+                if until is not None and not heap and not self._stopped and now < until:
+                    self._idled_from = now
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+
+class FastLink(Link):
+    """Reference link timing with inline calendar pushes.
+
+    ``transmit``/``return_credit`` build the slot-based calendar records
+    themselves and schedule the downstream bound methods directly, saving
+    the ``schedule()`` wrapper, an ``EventHandle`` and (for deliveries) a
+    trampoline frame per event.  Event times are computed with the exact
+    float expressions of the reference, so ``(time, seq)`` order matches.
+    """
+
+    __slots__ = (
+        "_deliver_cb",
+        "_credit_cb",
+        "_free_cb",
+        "_lt",
+        "_traffic_cb",
+        "_ser_flits",
+        "_ser_ns",
+    )
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        #: Downstream receive / upstream free+credit methods, bound once.
+        self._deliver_cb = self.dst.receive_packet
+        self._credit_cb = self.src.credit_returned
+        self._free_cb = self.src.link_free
+        #: One-entry serialization-time memo (packets are near-uniform size,
+        #: and equal flit counts give the identical float by construction).
+        self._ser_flits = -1
+        self._ser_ns = 0.0
+        # Link-traffic counters, pre-resolved: when the collector's
+        # record_link_traffic is a known implementation (pure counter
+        # updates), its target dicts are cached and updated inline; any
+        # overridden implementation is called through `_traffic_cb` instead.
+        self._lt: Optional[Tuple[dict, dict, dict]] = None
+        self._traffic_cb = None
+        stats = self.stats
+        if stats is not None:
+            impl = type(stats).record_link_traffic
+            known = (StatsCollector.record_link_traffic, FastStatsCollector.record_link_traffic)
+            if impl in known:
+                if self.link_id is not None:
+                    counter = stats.link_traffic
+                    self._lt = (counter._bytes, counter._bytes_app, counter._kind)
+            else:
+                self._traffic_cb = stats.record_link_traffic
+
+    # reprolint: hot
+    def transmit(self, packet: Packet) -> None:
+        if self.busy:
+            raise RuntimeError(f"link {self.link_id} is busy; arbitration bug upstream")
+        self.busy = True
+        flits = packet.num_flits
+        if flits == self._ser_flits:
+            ser = self._ser_ns
+        else:
+            ser = (flits * self.flit_size) / self.bandwidth
+            self._ser_flits = flits
+            self._ser_ns = ser
+        self.busy_time += ser
+        size = packet.size_bytes
+        self.bytes_carried += size
+        self.packets_carried += 1
+        lt = self._lt
+        if lt is not None:
+            link_id = self.link_id
+            lt[0][link_id] += size
+            lt[1][link_id, packet.app_id] += size
+            lt[2][link_id] = self.kind
+        elif self._traffic_cb is not None:
+            self._traffic_cb(self, packet)
+        sim = self.sim
+        now = sim._now
+        seq = sim._seq
+        sim._seq = seq + 2
+        heap = sim._heap
+        heappush(heap, [now + ser, seq, self._serialization_done, (), _SERIALIZED])
+        heappush(
+            heap,
+            [
+                now + (ser + self.latency),
+                seq + 1,
+                self._deliver_cb,
+                (self.dst_port, packet),
+                _DELIVERY,
+            ],
+        )
+
+    # reprolint: hot
+    def _serialization_done(self) -> None:
+        self.busy = False
+        self._free_cb(self.src_port)
+
+    # reprolint: hot
+    def return_credit(self, vc: int) -> None:
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(
+            sim._heap,
+            [sim._now + self.latency, seq, self._credit_cb, (self.src_port, vc), _CREDIT],
+        )
+
+
+class FastRouter(Router):
+    """Reference router with the grant/credit chain collapsed to a loop.
+
+    Subclasses :class:`~repro.network.router.Router` (Q-adaptive feedback
+    identifies router-to-router hops with an ``isinstance`` check) and keeps
+    the same buffers, credit trackers and request deques, so introspection
+    (invariant tests, adaptive routing's occupancy reads) sees identical
+    state at every event boundary.
+    """
+
+    __slots__ = ("_eject_port", "_on_recv", "_hop_hook")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: "DragonflyTopology",
+        config: "SimulationConfig",
+        router_id: int,
+        routing: Optional["RoutingAlgorithm"] = None,
+        stats: Optional[StatsCollector] = None,
+    ):
+        super().__init__(sim, topology, config, router_id, routing=routing, stats=stats)
+        # Flattened decision table for the ejection check: the two topology
+        # lookups (owning router, terminal port) fold into one entry per
+        # node — the terminal port when the node is local, -1 otherwise.
+        router_of_node = np.asarray(self._router_of_node, dtype=np.int64)
+        terminal_port = np.asarray(self._terminal_port_of_node, dtype=np.int64)
+        self._eject_port: List[int] = np.where(
+            router_of_node == router_id, terminal_port, -1
+        ).tolist()
+        # Hooks elided only when provably the base no-op implementation.
+        from repro.routing.base import RoutingAlgorithm as _RoutingBase
+
+        self._on_recv = (
+            routing.on_packet_received
+            if routing is not None
+            and type(routing).on_packet_received is not _RoutingBase.on_packet_received
+            else None
+        )
+        self._hop_hook = (
+            stats.record_hop
+            if stats is not None
+            and type(stats).record_hop is not StatsCollector.record_hop
+            else None
+        )
+
+    # ---------------------------------------------------------- congestion
+    def output_occupancy(self, port: int) -> int:
+        # Same estimate as the reference, without the property dispatch.
+        return self.credits[port]._used + len(self.out_requests[port])
+
+    # ------------------------------------------------------------- receive
+    # reprolint: hot
+    def receive_packet(self, in_port: int, packet: Packet) -> None:
+        if packet.trace is not None:
+            packet.trace.append(self.router_id)
+        on_recv = self._on_recv
+        if on_recv is not None:
+            on_recv(self, in_port, packet)
+        vc = packet.vc
+        buffer = self.in_buffers[in_port]
+        queue = buffer._queues[vc]
+        occupancy = len(queue)
+        if occupancy >= buffer.capacity:
+            raise OverflowError(
+                f"VC {vc} buffer overflow (capacity {buffer.capacity}); "
+                "credit flow control violated"
+            )
+        queue.append(packet)
+        buffer._bytes += packet.size_bytes
+        if occupancy == 0:
+            self._route_head(in_port, vc)
+
+    # -------------------------------------------------------------- routing
+    # reprolint: hot
+    def _route_head(self, in_port: int, vc: int) -> None:
+        """Route the head of ``(in_port, vc)``, then pump grants iteratively.
+
+        One loop iteration = the reference tail-call chain
+        ``_route_head → _try_output → _grant → _route_head``: route the new
+        head packet, attempt one grant on its output port, and continue with
+        the input whose head the grant exposed (if any).
+        """
+        sim = self.sim
+        in_buffers = self.in_buffers
+        out_requests = self.out_requests
+        eject_port = self._eject_port
+        routing = self.routing
+        while True:
+            packet = in_buffers[in_port]._queues[vc][0]
+            out_port = eject_port[packet.dst_node]
+            if out_port >= 0:
+                next_vc = 0
+            else:
+                # U-turns are legal (UGALn/PAR detours may revisit the
+                # intermediate group's entry router) — no check, as in the
+                # reference.
+                out_port, next_vc = routing.route(self, packet)  # type: ignore[union-attr]
+            packet.out_port = out_port
+            packet.next_vc = next_vc
+            packet.request_time = sim._now
+            out_requests[out_port].append((in_port, vc))
+            nxt = self._pump(out_port)
+            if nxt is None:
+                return
+            in_port, vc = nxt
+
+    # ---------------------------------------------------------- arbitration
+    # reprolint: hot
+    def _pump(self, out_port: int) -> Optional[Tuple[int, int]]:
+        """Grant ``out_port`` to one waiting head packet if possible.
+
+        Inlines the reference ``_try_output`` + ``_grant`` pair over the raw
+        buffer/credit state.  Returns the ``(in_port, vc)`` whose next head
+        packet must now be routed, or ``None`` when nothing more to do.
+        The direct credit decrement cannot underflow: the arbitration guard
+        just established ``avail[next_vc] > 0``, exactly like the reference
+        ``has_credit``/``consume`` pair.
+        """
+        requests = self.out_requests[out_port]
+        if not requests:
+            return None
+        link = self.out_links[out_port]
+        if link is None or link.busy:
+            return None
+        in_buffers = self.in_buffers
+        credits = self.credits[out_port]
+        avail = credits._credits
+        packet: Optional[Packet] = None
+        g_in = g_vc = 0
+        for _ in range(len(requests)):
+            g_in, g_vc = requests[0]
+            head = in_buffers[g_in]._queues[g_vc][0]
+            if avail[head.next_vc] > 0:
+                requests.popleft()
+                packet = head
+                break
+            # Head-of-line packet cannot advance on its VC: rotate so other
+            # inputs contending for this port still make progress.
+            requests.rotate(-1)
+        if packet is None:
+            return None
+
+        buffer = in_buffers[g_in]
+        queue = buffer._queues[g_vc]
+        queue.popleft()
+        buffer._bytes -= packet.size_bytes
+        next_vc = packet.next_vc
+        avail[next_vc] -= 1  # type: ignore[index]
+        credits._used += 1
+
+        # request_time == 0.0 is a legitimate timestamp, so test against
+        # None rather than falsiness (as the reference does).
+        request_time = packet.request_time
+        stall = self.sim._now - request_time if request_time is not None else 0.0
+        stats = self.stats
+        if stats is not None:
+            if stall > 0.0:
+                stats.record_port_stall(self, out_port, stall, packet.app_id)
+            hop_hook = self._hop_hook
+            if hop_hook is not None:
+                hop_hook(self, g_in, out_port, packet)
+
+        packet.vc = next_vc  # type: ignore[assignment]
+        packet.hop_count += 1
+        packet.out_port = None
+        packet.next_vc = None
+        self.packets_forwarded += 1
+
+        in_link = self.in_links[g_in]
+        if in_link is not None:
+            in_link.return_credit(g_vc)
+        link.transmit(packet)
+        if queue:
+            return g_in, g_vc
+        return None
+
+    # reprolint: hot
+    def _try_output(self, out_port: int) -> None:
+        nxt = self._pump(out_port)
+        if nxt is not None:
+            self._route_head(*nxt)
+
+    # The reference delegates link_free to _try_output through an extra
+    # frame; here they are the same method.
+    link_free = _try_output
+
+    # reprolint: hot
+    def credit_returned(self, port: int, vc: int) -> None:
+        # Inline CreditTracker.release (same guard, same mutation) ahead of
+        # the pump, skipping two call frames per credit event.
+        credits = self.credits[port]
+        avail = credits._credits
+        if avail[vc] >= credits.initial:
+            raise RuntimeError(
+                f"credit overflow on VC {vc}: more credits returned than the "
+                "downstream buffer can hold"
+            )
+        avail[vc] += 1
+        credits._used -= 1
+        nxt = self._pump(port)
+        if nxt is not None:
+            self._route_head(*nxt)
+
+
+class FastNic(Nic):
+    """Reference NIC with the injection/ejection paths inlined."""
+
+    __slots__ = ()
+
+    # reprolint: hot
+    def _try_inject(self) -> None:
+        queue = self.injection_queue
+        if not queue:
+            return
+        link = self.out_link
+        if link is None:
+            raise RuntimeError(f"NIC {self.node_id} is not wired to a router")
+        if link.busy:
+            return
+        # All packets enter the network on VC 0 (the VC index then follows
+        # the hop count); the direct decrement cannot underflow behind the
+        # guard, exactly like the reference has_credit/consume pair.
+        credits = self.credits
+        avail = credits._credits
+        if avail[0] <= 0:
+            return
+        packet = queue.popleft()
+        avail[0] -= 1
+        credits._used += 1
+        packet.vc = 0
+        now = self.sim._now
+        packet.inject_time = now
+        self.bytes_injected += packet.size_bytes
+        self.packets_injected += 1
+        stats = self.stats
+        if stats is not None:
+            stats.record_packet_injected(self, packet)
+        message = packet.message
+        if packet.seq == message.num_packets - 1:
+            message.inject_end_time = now
+        link.transmit(packet)
+
+    # reprolint: hot
+    def credit_returned(self, port: int, vc: int) -> None:
+        # Inline CreditTracker.release (same guard, same mutation).
+        credits = self.credits
+        avail = credits._credits
+        if avail[vc] >= credits.initial:
+            raise RuntimeError(
+                f"credit overflow on VC {vc}: more credits returned than the "
+                "downstream buffer can hold"
+            )
+        avail[vc] += 1
+        credits._used -= 1
+        self._try_inject()
+
+    # reprolint: hot
+    def receive_packet(self, port: int, packet: Packet) -> None:
+        now = self.sim._now
+        packet.eject_time = now
+        self.bytes_ejected += packet.size_bytes
+        self.packets_ejected += 1
+        stats = self.stats
+        if stats is not None:
+            stats.record_packet_ejected(self, packet)
+        # Ejection consumes the packet immediately; free the router's slot.
+        in_link = self.in_link
+        if in_link is not None:
+            in_link.return_credit(packet.vc)
+
+        message = packet.message
+        received = message.packets_received + 1
+        message.packets_received = received
+        num_packets = message.num_packets
+        if num_packets > 0 and received >= num_packets:
+            message.deliver_time = now
+            if stats is not None:
+                stats.record_message_delivered(message)
+            callback = self.on_message_delivered
+            if callback is not None:
+                callback(message)
+
+
+class FastStatsCollector(StatsCollector):
+    """Reference collector with columnar per-packet state on the hot path.
+
+    Counter updates happen in the exact order of the reference methods (so
+    every float accumulation is bit-identical); per-packet records are kept
+    as plain tuples and materialized into
+    :class:`~repro.stats.collector.PacketRecord` objects only when read.
+    """
+
+    def __init__(self, sim: Simulator, config: "SimulationConfig"):
+        self._raw_records: List[_RawRecord] = []
+        self._records_cache: Optional[List[PacketRecord]] = None
+        super().__init__(sim, config)
+        self._record_packets: bool = config.record_packets
+
+    # ------------------------------------------------- per-packet records
+    @property  # type: ignore[override]
+    def packet_records(self) -> List[PacketRecord]:
+        """Materialized per-packet records (lazily built from the columns)."""
+        cache = self._records_cache
+        raw = self._raw_records
+        if cache is None or len(cache) != len(raw):
+            cache = [PacketRecord(*record) for record in raw]
+            self._records_cache = cache
+        return cache
+
+    @packet_records.setter
+    def packet_records(self, records: List[PacketRecord]) -> None:
+        self._raw_records = [
+            (r.app_id, r.src_node, r.dst_node, r.size_bytes, r.inject_time, r.eject_time, r.hops)
+            for r in records
+        ]
+        self._records_cache = None
+
+    # -------------------------------------------------------- network hooks
+    # reprolint: hot
+    def record_packet_injected(self, nic: "Nic", packet: Packet) -> None:
+        self.total_packets_injected += 1
+        now = self.sim._now
+        size = packet.size_bytes
+        if self.windowed and now >= self.warmup_ns:
+            end = self.window_end_ns
+            if end is None or now <= end:
+                self.measured_packets_injected += 1
+                self.measured_bytes_injected += size
+        table = self.injected_bytes
+        app_id = packet.app_id
+        series = table.get(app_id)
+        if series is None:
+            series = BinnedSeries(self._bin_ns)
+            table[app_id] = series
+        idx = int(now // series.bin_width)
+        sums = series._sums
+        sums[idx] = sums.get(idx, 0.0) + size
+        counts = series._counts
+        counts[idx] = counts.get(idx, 0) + 1
+
+    # reprolint: hot
+    def record_packet_ejected(self, nic: "Nic", packet: Packet) -> None:
+        size = packet.size_bytes
+        app_id = packet.app_id
+        self.total_packets_ejected += 1
+        self.total_bytes_ejected += size
+        now = self.sim._now
+        if self.windowed and now >= self.warmup_ns:
+            end = self.window_end_ns
+            if end is None or now <= end:
+                self.measured_packets_ejected += 1
+                self.measured_bytes_ejected += size
+        table = self.ejected_bytes
+        series = table.get(app_id)
+        if series is None:
+            series = BinnedSeries(self._bin_ns)
+            table[app_id] = series
+        idx = int(now // series.bin_width)
+        sums = series._sums
+        sums[idx] = sums.get(idx, 0.0) + size
+        counts = series._counts
+        counts[idx] = counts.get(idx, 0) + 1
+        system = self.system_ejected_bytes
+        sys_sums = system._sums
+        sys_sums[idx] = sys_sums.get(idx, 0.0) + size
+        sys_counts = system._counts
+        sys_counts[idx] = sys_counts.get(idx, 0) + 1
+        inject_time = packet.inject_time
+        eject_time = packet.eject_time
+        if eject_time is not None and inject_time is not None:
+            latencies = self.latency_series
+            series = latencies.get(app_id)
+            if series is None:
+                series = BinnedSeries(self._bin_ns)
+                latencies[app_id] = series
+            latency = eject_time - inject_time
+            lat_sums = series._sums
+            lat_sums[idx] = lat_sums.get(idx, 0.0) + latency
+            lat_counts = series._counts
+            lat_counts[idx] = lat_counts.get(idx, 0) + 1
+        if self._record_packets and inject_time is not None:
+            self._raw_records.append(
+                (
+                    app_id,
+                    packet.src_node,
+                    packet.dst_node,
+                    size,
+                    inject_time,
+                    eject_time if eject_time is not None else now,
+                    packet.hop_count,
+                )
+            )
+
+    # reprolint: hot
+    def record_port_stall(
+        self, router: "Router", port: int, stall_ns: float, app_id: int
+    ) -> None:
+        if stall_ns <= 0:
+            return
+        link = router.out_links[port]
+        if link is not None:
+            kind = link.kind
+        else:
+            kind = LinkKind[router.topology.port_kind(port).name]
+        router_id = router.router_id
+        key = (router_id, port)
+        counter = self.port_stall
+        by_port = counter._by_port
+        by_port[key] += stall_ns
+        counter._by_port_app[(router_id, port, app_id)] += stall_ns
+        counter._port_kind[key] = kind
+
+    # reprolint: hot
+    def record_link_traffic(self, link: Link, packet: Packet) -> None:
+        link_id = link.link_id
+        if link_id is None:
+            return
+        size = packet.size_bytes
+        counter = self.link_traffic
+        counter._bytes[link_id] += size
+        counter._bytes_app[(link_id, packet.app_id)] += size
+        counter._kind[link_id] = link.kind
+
+    # ------------------------------------------------------------ summaries
+    def packet_latencies(self, app_id: Optional[int] = None) -> np.ndarray:
+        if app_id is None:
+            return np.array([r[5] - r[4] for r in self._raw_records])
+        return np.array([r[5] - r[4] for r in self._raw_records if r[0] == app_id])
+
+    def measurement_packet_latencies(self, app_id: Optional[int] = None) -> np.ndarray:
+        warmup = self.warmup_ns
+        end = self.window_end_ns
+        return np.array(
+            [
+                r[5] - r[4]
+                for r in self._raw_records
+                if r[5] >= warmup
+                and (end is None or r[5] <= end)
+                and (app_id is None or r[0] == app_id)
+            ]
+        )
+
+
+FAST_BACKEND = SimBackend(
+    name="fast",
+    description="inlined hot core: direct calendar pushes, collapsed grant "
+    "chain, flattened decision tables, columnar packet records",
+    simulator_cls=FastSimulator,
+    router_cls=FastRouter,
+    nic_cls=FastNic,
+    link_cls=FastLink,
+    stats_cls=FastStatsCollector,
+)

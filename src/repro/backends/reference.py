@@ -1,0 +1,29 @@
+"""The reference backend: the original pure-Python hot core, unchanged.
+
+This backend simply names the canonical component classes.  It exists so
+the reference implementation is addressable through the same
+:class:`~repro.backends.base.SimBackend` seam as any optimized backend —
+the differential harness runs both sides through identical construction
+code, so a divergence can only come from the components themselves.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import SimBackend
+from repro.core.engine import Simulator
+from repro.network.link import Link
+from repro.network.nic import Nic
+from repro.network.router import Router
+from repro.stats.collector import StatsCollector
+
+__all__ = ["REFERENCE_BACKEND"]
+
+REFERENCE_BACKEND = SimBackend(
+    name="reference",
+    description="canonical pure-Python components (the correctness baseline)",
+    simulator_cls=Simulator,
+    router_cls=Router,
+    nic_cls=Nic,
+    link_cls=Link,
+    stats_cls=StatsCollector,
+)

@@ -255,7 +255,25 @@ class SimulationConfig:
     #: workloads require.  ``None`` = run to completion as before.
     measurement_ns: Optional[float] = None
 
+    #: Simulation backend: which implementation of the hot core executes the
+    #: run (``"reference"`` or ``"fast"``; see :mod:`repro.backends`).  All
+    #: backends are bit-equivalent by contract, so this is an execution
+    #: strategy, not part of the experiment's meaning — scenarios serialize
+    #: and hash it only when non-default.
+    backend: str = "reference"
+
     def __post_init__(self) -> None:
+        # Validate (and canonicalize) the backend name at construction time,
+        # mirroring RoutingConfig.algorithm: a typo fails right here naming
+        # the `backend` field and the valid choices, not deep inside a run.
+        # Deferred import: repro.backends type-checks against modules that
+        # import this one.
+        from repro.backends import resolve_backend
+
+        try:
+            object.__setattr__(self, "backend", resolve_backend(self.backend))
+        except ValueError as exc:
+            raise ValueError(f"SimulationConfig.backend: {exc}") from None
         if not (math.isfinite(self.warmup_ns) and self.warmup_ns >= 0):
             raise ValueError(
                 f"warmup_ns must be finite and non-negative, got {self.warmup_ns!r}"
@@ -311,3 +329,7 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy with a different master seed."""
         return replace(self, seed=seed)
+
+    def with_backend(self, backend: str) -> "SimulationConfig":
+        """Return a copy pinned to a specific simulation backend."""
+        return replace(self, backend=backend)

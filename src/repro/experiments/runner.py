@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+from repro.backends import active_backend
 from repro.config import SimulationConfig
 from repro.core.engine import Simulator
 from repro.experiments.configs import AppSpec
@@ -123,8 +124,9 @@ def _execute(
         raise ValueError(f"duplicate job names in {names}; give co-runs distinct names")
 
     started = time.perf_counter()
-    sim = Simulator()
-    network = DragonflyNetwork(sim, config)
+    backend = active_backend(config)
+    sim = backend.create_simulator()
+    network = DragonflyNetwork(sim, config, backend=backend)
     engine = MpiEngine(network)
     engine.recorder = recorder
     allocator = NodeAllocator(network.num_nodes)

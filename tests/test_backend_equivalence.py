@@ -1,0 +1,233 @@
+"""Differential harness pinning the ``fast`` backend to the reference.
+
+The backend contract (``docs/backends.md``) is bit-equivalence: for any
+scenario, every backend must produce identical ``flatten_run`` rows,
+identical run summaries, identical recorded traces and identical
+scenario-store contents.  This module enforces the contract by running the
+same scenarios through both backends and comparing outputs exactly — no
+tolerances anywhere.
+
+Coverage:
+
+* randomized scenarios (seeded stdlib RNG) across all six routing
+  algorithms × {reference, fast};
+* windowed / offered-load (steady-state loadcurve) runs;
+* staggered-arrival co-runs (two jobs with different start times);
+* ``trace_hash`` of a recorded run (via the hash-neutral ``REPRO_BACKEND``
+  override, so the embedded scenario documents are identical too);
+* scenario-store equality: a store populated under ``REPRO_BACKEND=fast``
+  is byte-for-byte the store populated by the reference.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Tuple
+
+import pytest
+
+from repro.backends import ENV_BACKEND, backend_names, get_backend
+from repro.config import SimulationConfig, tiny_system
+from repro.experiments.configs import AppSpec
+from repro.experiments.scenario import (
+    Scenario,
+    loadcurve_scenario,
+    scenario_hash,
+    table1_scenario,
+)
+from repro.experiments.runner import RunResult
+from repro.results import ResultStore, flatten_run
+from repro.traces import record_scenario, trace_hash
+
+ALGORITHMS = ("minimal", "valiant", "ugal-g", "ugal-n", "par", "q-adaptive")
+
+#: Applications drawn from by the randomized generator — kept small/tractable
+#: (everything runs at tiny scale on the 36-node system).
+_APPS = ("Halo3D", "FFT3D", "LQCD", "Stencil5D", "UR", "shift")
+
+
+@pytest.fixture(autouse=True)
+def _no_backend_override(monkeypatch) -> None:
+    """Equivalence tests pin backends explicitly; neutralize the CI axis."""
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+
+
+def _with_backend(scenario: Scenario, backend: str) -> Scenario:
+    return Scenario(
+        name=scenario.name,
+        config=scenario.config.with_backend(backend),
+        jobs=scenario.jobs,
+        placement=scenario.placement,
+    )
+
+
+def _comparable(result: RunResult) -> Tuple[dict, dict]:
+    """The run's observable outputs: flattened metrics + summary (no wall time)."""
+    flat = flatten_run(result)
+    summary = result.summary()
+    summary.pop("wall_seconds", None)
+    return flat, summary
+
+
+def _assert_equivalent(scenario: Scenario, require_completion: bool = True) -> dict:
+    """Run ``scenario`` under every backend; assert bit-identical outputs."""
+    outputs: Dict[str, Tuple[dict, dict]] = {}
+    for backend in backend_names():
+        result = _with_backend(scenario, backend).run(
+            require_completion=require_completion
+        )
+        outputs[backend] = _comparable(result)
+    reference = outputs["reference"]
+    for backend, got in outputs.items():
+        assert got[0] == reference[0], (
+            f"backend {backend!r} diverged from reference on flattened metrics "
+            f"for {scenario.name!r}"
+        )
+        assert got[1] == reference[1], (
+            f"backend {backend!r} diverged from reference on the run summary "
+            f"for {scenario.name!r}"
+        )
+    return reference[0]
+
+
+def _random_scenarios(algorithm: str, count: int = 2) -> Iterator[Scenario]:
+    """Seeded random tiny-system scenarios (deterministic per algorithm)."""
+    rng = random.Random(f"backend-equivalence/{algorithm}")
+    for index in range(count):
+        app = rng.choice(_APPS)
+        config = SimulationConfig(
+            system=tiny_system(),
+            seed=rng.randrange(1, 1_000_000),
+        ).with_routing(algorithm)
+        yield Scenario(
+            name=f"rand/{algorithm}/{index}/{app}",
+            config=config,
+            jobs=(
+                AppSpec(
+                    app,
+                    rng.choice((8, 12, 16)),
+                    {"scale": 0.05} if app not in ("UR", "shift") else {},
+                ),
+            ),
+            placement=rng.choice(("contiguous", "random")),
+        )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_randomized_scenarios_bit_identical(algorithm):
+    """Randomized tiny scenarios × all algorithms × all backends."""
+    for scenario in _random_scenarios(algorithm):
+        flat = _assert_equivalent(scenario)
+        assert flat["packets_ejected"] > 0  # the comparison is not vacuous
+
+
+@pytest.mark.parametrize("algorithm", ["minimal", "par", "q-adaptive"])
+def test_windowed_offered_load_bit_identical(algorithm):
+    """Steady-state (warmup + measurement window) runs match exactly."""
+    scenario = loadcurve_scenario(
+        "shift",
+        routing=algorithm,
+        seed=11,
+        offered_load=0.3,
+        warmup_ns=5_000.0,
+        measurement_ns=20_000.0,
+        config=SimulationConfig(system=tiny_system()).with_routing(algorithm),
+    )
+    flat = _assert_equivalent(scenario, require_completion=False)
+    assert flat["measured_packets_ejected"] > 0
+
+
+def test_staggered_arrivals_bit_identical():
+    """Two jobs with offset start times interleave identically."""
+    config = SimulationConfig(system=tiny_system(), seed=9).with_routing("ugal-g")
+    scenario = Scenario(
+        name="stagger/halo3d+ur",
+        config=config,
+        jobs=(
+            AppSpec("Halo3D", 8, {"scale": 0.05}),
+            AppSpec("UR", 8, {"message_bytes": 2048, "iterations": 6}, start_time=7_500.0),
+        ),
+        placement="contiguous",
+    )
+    flat = _assert_equivalent(scenario)
+    assert flat["execution_time_ns/Halo3D"] > 0 and flat["execution_time_ns/UR"] > 0
+
+
+def test_preset_scenario_bit_identical():
+    """A registered preset (Table I cell) matches across backends."""
+    scenario = table1_scenario("LQCD", routing="par", seed=2, scale=0.05)
+    scenario = Scenario(
+        name=scenario.name,
+        config=scenario.config.with_system(tiny_system()),
+        jobs=scenario.jobs,
+        placement=scenario.placement,
+    )
+    _assert_equivalent(scenario)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_recorded_trace_hash_identical(algorithm, monkeypatch):
+    """Recording a run under either backend yields the identical trace.
+
+    Uses the ``REPRO_BACKEND`` override (not ``config.backend``) so the
+    scenario document embedded in the trace header — and therefore the
+    trace content hash — must match byte for byte.
+    """
+    hashes = {}
+    for backend in backend_names():
+        monkeypatch.setenv(ENV_BACKEND, backend)
+        scenario = table1_scenario("Halo3D", routing=algorithm, seed=4, scale=0.05)
+        scenario = Scenario(
+            name=scenario.name,
+            config=scenario.config.with_system(tiny_system()),
+            jobs=scenario.jobs,
+            placement=scenario.placement,
+        )
+        _, traces = record_scenario(scenario)
+        hashes[backend] = {name: trace_hash(trace) for name, trace in traces.items()}
+    assert hashes["fast"] == hashes["reference"]
+
+
+def test_scenario_store_contents_identical(tmp_path, monkeypatch):
+    """A result store filled under ``REPRO_BACKEND=fast`` equals the reference's.
+
+    The env override keeps ``config.backend`` at its default, so both runs
+    share one scenario hash — the store rows (key, name, metrics) must be
+    indistinguishable.
+    """
+    dumps = {}
+    for backend in backend_names():
+        monkeypatch.setenv(ENV_BACKEND, backend)
+        scenario = loadcurve_scenario(
+            "transpose",
+            routing="ugal-n",
+            seed=6,
+            offered_load=0.25,
+            warmup_ns=5_000.0,
+            measurement_ns=15_000.0,
+            config=SimulationConfig(system=tiny_system()).with_routing("ugal-n"),
+        )
+        result = scenario.run(require_completion=False)
+        store = ResultStore(str(tmp_path / f"{backend}.sqlite"))
+        store.record_run(scenario, result)
+        stored = store.get(scenario)
+        assert stored is not None
+        dumps[backend] = (scenario_hash(scenario), stored.name, stored.metrics)
+    assert dumps["fast"] == dumps["reference"]
+
+
+def test_fast_backend_components_are_subclasses():
+    """Fast components subclass the reference ones.
+
+    Q-adaptive's feedback path distinguishes router hops from NIC hops with
+    an ``isinstance`` check against the reference Router, and invariant
+    tests introspect reference attributes — subclassing is part of the
+    backend's compatibility story, so pin it.
+    """
+    reference = get_backend("reference")
+    fast = get_backend("fast")
+    assert issubclass(fast.simulator_cls, reference.simulator_cls)
+    assert issubclass(fast.router_cls, reference.router_cls)
+    assert issubclass(fast.nic_cls, reference.nic_cls)
+    assert issubclass(fast.link_cls, reference.link_cls)
+    assert issubclass(fast.stats_cls, reference.stats_cls)

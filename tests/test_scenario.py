@@ -219,6 +219,40 @@ def test_scenario_hash_tracks_content_not_identity():
     assert scenario_hash(scenario) != scenario_hash(_tiny_scenario(placement="contiguous"))
 
 
+# -------------------------------------------------------- backend hash neutrality
+def test_backend_absent_from_every_preset_serialization():
+    """``backend`` is an execution knob, not an experiment axis: at its
+    default it must never appear in a serialized scenario, so every golden
+    preset hash above is untouched by the backend subsystem."""
+    for name in scenario_names():
+        doc = get_scenario(name).to_dict()
+        assert "backend" not in doc.get("sim", {}), (
+            f"preset {name!r} leaked the default backend into its "
+            "serialization — this would silently re-key every stored result"
+        )
+
+
+def test_non_default_backend_round_trips_and_changes_hash():
+    scenario = _tiny_scenario()
+    fast = _tiny_scenario(config=scenario.config.with_backend("fast"))
+    doc = fast.to_dict()
+    assert doc["sim"]["backend"] == "fast"
+    assert Scenario.from_dict(doc) == fast
+    # A pinned backend is part of the cache key; the default is not.
+    assert scenario_hash(fast) != scenario_hash(scenario)
+    assert scenario_hash(_tiny_scenario(config=scenario.config.with_backend("reference"))) == scenario_hash(scenario)
+
+
+def test_unknown_backend_rejected_at_construction():
+    with pytest.raises(ValueError, match="SimulationConfig.backend"):
+        SimulationConfig(system=tiny_system(), backend="bogus")
+    with pytest.raises(ValueError, match="valid backends"):
+        _tiny_scenario().config.with_backend("bogus")
+    # Aliases canonicalize, so serialized forms never contain alias spellings.
+    assert SimulationConfig(system=tiny_system(), backend="optimized").backend == "fast"
+    assert SimulationConfig(system=tiny_system(), backend="REF").backend == "reference"
+
+
 # -------------------------------------------------------------------- registry
 def test_builtin_scenario_library():
     names = scenario_names()
