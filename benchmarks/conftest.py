@@ -22,11 +22,12 @@ Set ``REPRO_BENCH_SCALE`` (default 0.3) or ``REPRO_BENCH_FULL=1`` to widen
 the sweeps.
 
 After a session that ran any bench driver, a machine-readable summary —
-per-driver wall time plus headline metrics from the bench store, and (when
-the backend-comparison driver ran) the backend-vs-reference speedup table —
-is written to ``BENCH_PR8.json`` at the repo root (override with
+per-driver wall time plus headline metrics from the bench store, the
+backend-vs-reference speedup table (when the backend-comparison driver ran)
+and the packet-vs-flow fidelity comparison (when the fidelity driver ran) —
+is written to ``BENCH_PR9.json`` at the repo root (override with
 ``REPRO_BENCH_SUMMARY``; set it to the empty string to disable).  CI uploads
-it as an artifact.
+it as an artifact and renders the comparison tables in the job summary.
 """
 
 from __future__ import annotations
@@ -76,11 +77,16 @@ _RUNS: Dict[str, RunResult] = {}
 
 
 #: Where the machine-readable suite summary lands ('' disables it).
-_SUMMARY_PATH = os.environ.get("REPRO_BENCH_SUMMARY", str(_BENCH_DIR.parent / "BENCH_PR8.json"))
+_SUMMARY_PATH = os.environ.get("REPRO_BENCH_SUMMARY", str(_BENCH_DIR.parent / "BENCH_PR9.json"))
 
 #: Backend-vs-reference comparison rows, filled by the backend bench driver
 #: (benchmarks/test_backend_comparison.py) via :func:`record_backend_comparison`.
 _BACKEND_COMPARISON: Dict[str, dict] = {}
+
+#: Packet-vs-flow fidelity comparison rows, filled by the fidelity bench
+#: driver (benchmarks/test_fidelity_comparison.py) via
+#: :func:`record_fidelity_comparison`.
+_FIDELITY_COMPARISON: Dict[str, dict] = {}
 
 #: Per-driver (module) wall time and outcome counts, filled by the hook below.
 _DRIVER_TIMES: Dict[str, Dict[str, float]] = {}
@@ -94,7 +100,7 @@ def pytest_collection_modifyitems(config, items):
 
 
 def pytest_runtest_logreport(report):
-    """Accumulate per-driver wall time for the BENCH_PR8.json summary."""
+    """Accumulate per-driver wall time for the BENCH_PR9.json summary."""
     if report.when != "call":
         return
     module = report.nodeid.split("::", 1)[0]
@@ -152,6 +158,8 @@ def pytest_sessionfinish(session, exitstatus):
     }
     if _BACKEND_COMPARISON:
         summary["backend_comparison"] = dict(sorted(_BACKEND_COMPARISON.items()))
+    if _FIDELITY_COMPARISON:
+        summary["fidelity_comparison"] = dict(sorted(_FIDELITY_COMPARISON.items()))
     Path(_SUMMARY_PATH).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 
@@ -178,9 +186,21 @@ def record_backend_comparison(name: str, row: dict) -> None:
 
     ``row`` should carry honest measured numbers (wall seconds per backend,
     events fired, speedup, whether outputs matched); it lands verbatim under
-    ``backend_comparison`` in ``BENCH_PR8.json``.
+    ``backend_comparison`` in ``BENCH_PR9.json``.
     """
     _BACKEND_COMPARISON[name] = row
+
+
+def record_fidelity_comparison(name: str, row: dict) -> None:
+    """Publish one packet-vs-flow fidelity measurement into the session summary.
+
+    ``row`` should carry honest measured numbers (wall seconds per fidelity,
+    makespan/throughput deltas, whether volumes matched exactly); it lands
+    verbatim under ``fidelity_comparison`` in ``BENCH_PR9.json``.  Unlike the
+    backend comparison, fidelities are *not* bit-equivalent — the row records
+    the measured approximation error, not a match bit alone.
+    """
+    _FIDELITY_COMPARISON[name] = row
 
 
 def ensure_stored(scenarios: Iterable[Scenario]) -> None:

@@ -113,6 +113,7 @@ def mixed_rows_from_store(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Fig. 10 interference rows built from a result store — no simulation.
 
@@ -126,7 +127,7 @@ def mixed_rows_from_store(
     """
     from repro.results.store import ensure_comparable, ensure_uniform, mean_metric
 
-    filters = dict(seed=seed, scale=scale, placement=placement)
+    filters = dict(seed=seed, scale=scale, placement=placement, fidelity=fidelity)
     # start_time/knobs narrow the mixed co-run; solo baselines are always the
     # simultaneous-arrival standalone runs (as in pairwise.comparison_rows).
     mixed_runs = store.runs_named(

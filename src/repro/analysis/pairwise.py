@@ -133,6 +133,7 @@ def comparison_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Fig. 4 comparison rows built from a result store — no simulation.
 
@@ -160,7 +161,9 @@ def comparison_rows(
     background = resolve_application(background) if background else None
     base_name = f"pairwise/{target}"
     pair_name = f"pairwise/{target}+{background}" if background else base_name
-    filters = dict(seed=seed, scale=scale, placement=placement)
+    # Fidelity filters both families: comparing a flow-level co-run against
+    # a packet-level baseline would mix approximations (docs/fidelity.md).
+    filters = dict(seed=seed, scale=scale, placement=placement, fidelity=fidelity)
     base_runs = store.runs_named(
         base_name,
         start_time=start_time if background is None else 0.0,

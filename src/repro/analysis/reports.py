@@ -85,6 +85,7 @@ MIXED_COLUMNS = [
 LOADCURVE_COLUMNS = [
     "routing",
     "pattern",
+    "fidelity",
     "offered_load",
     "window_ns",
     "accepted_throughput_gbps",
@@ -176,13 +177,15 @@ def table1_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Table I rows (application communication intensity) from a result store.
 
     Selects the stored ``table1/<App>`` standalone runs (optionally narrowed
-    by routing/seed/scale), aggregates each metric across the matching runs
-    (mean over seeds), and returns one row per application.  No simulation
-    is launched.  Raises ``ValueError`` on an unpopulated store.
+    by routing/seed/scale/fidelity), aggregates each metric across the
+    matching runs (mean over seeds), and returns one row per application.
+    No simulation is launched.  Raises ``ValueError`` on an unpopulated
+    store.
     """
     from repro.results.store import ensure_uniform, mean_metric
     from repro.workloads import APPLICATIONS
@@ -191,6 +194,7 @@ def table1_rows(
     for run in store.runs(
         name_prefix="table1/", routing=routing, seed=seed, scale=scale,
         placement=placement, start_time=start_time, knobs=knobs,
+        fidelity=fidelity,
     ):
         if len(run.jobs) == 1:
             by_app.setdefault(run.jobs[0], []).append(run)
@@ -225,6 +229,7 @@ def table2_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Table II rows (mixed-workload job sizes + measured comm time) from a store.
 
@@ -239,6 +244,7 @@ def table2_rows(
     runs = store.runs_named(
         "mixed/table2", routing=routing, seed=seed, scale=scale,
         placement=placement, start_time=start_time, knobs=knobs,
+        fidelity=fidelity,
     )
     if not runs:
         raise ValueError(
@@ -274,6 +280,7 @@ def synthetic_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Synthetic-background comparison rows for one target — no simulation.
 
@@ -295,7 +302,7 @@ def synthetic_rows(
         for run in store.runs(
             name_prefix=prefix,
             seed=seed, scale=scale, placement=placement, start_time=start_time,
-            knobs=knobs,
+            knobs=knobs, fidelity=fidelity,
         )
     }
     found = [pattern for pattern in sorted(SYNTHETIC_PATTERNS) if pattern in present]
@@ -312,7 +319,7 @@ def synthetic_rows(
             comparison_rows(
                 store, target, pattern,
                 routings=routings, seed=seed, scale=scale, placement=placement,
-                start_time=start_time, knobs=knobs,
+                start_time=start_time, knobs=knobs, fidelity=fidelity,
             )
         )
     rows.sort(key=lambda row: (row["background"], row["routing"]))
@@ -328,6 +335,7 @@ def synthetic_standalone_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Intensity rows of one standalone synthetic pattern, per routing.
 
@@ -341,7 +349,7 @@ def synthetic_standalone_rows(
     runs = store.runs_named(
         f"synthetic/{pattern}",
         routing=routing, seed=seed, scale=scale, placement=placement,
-        start_time=start_time, knobs=knobs,
+        start_time=start_time, knobs=knobs, fidelity=fidelity,
     )
     if not runs:
         raise ValueError(
@@ -375,6 +383,7 @@ def ml_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Intensity rows of one standalone ML-collective pattern, per routing.
 
@@ -398,7 +407,7 @@ def ml_rows(
     runs = store.runs_named(
         f"ml/{short}",
         routing=routing, seed=seed, scale=scale, placement=placement,
-        start_time=start_time, knobs=knobs,
+        start_time=start_time, knobs=knobs, fidelity=fidelity,
     )
     if not runs:
         raise ValueError(
@@ -432,6 +441,7 @@ def trace_rows(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Intensity rows of stored trace-replay runs, per routing.
 
@@ -446,7 +456,7 @@ def trace_rows(
     runs = store.runs_named(
         f"trace/{name}",
         routing=routing, seed=seed, scale=scale, placement=placement,
-        start_time=start_time, knobs=knobs,
+        start_time=start_time, knobs=knobs, fidelity=fidelity,
     )
     if not runs:
         raise ValueError(
@@ -481,6 +491,7 @@ def loadcurve_rows(
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
     offered_load: Optional[float] = None,
+    fidelity: Optional[str] = None,
 ) -> List[dict]:
     """Latency-vs-offered-load curve rows for one pattern — no simulation.
 
@@ -507,7 +518,7 @@ def loadcurve_rows(
     runs = store.runs_named(
         f"loadcurve/{pattern}",
         seed=seed, scale=scale, placement=placement, start_time=start_time,
-        knobs=knobs, offered_load=offered_load,
+        knobs=knobs, offered_load=offered_load, fidelity=fidelity,
     )
     if routings is not None:
         runs = [run for run in runs if run.routing in routings]
@@ -522,27 +533,37 @@ def loadcurve_rows(
         loads = {load for load in run.job_offered_loads() if load is not None}
         if len(loads) != 1:
             continue  # not a single-load steady-state run
-        key = (run.routing, loads.pop(), run.window(), run.job_start_times())
+        # Fidelity is a grouping axis: packet- and flow-level points of one
+        # pattern trace *separate* curves (flow latencies are message-level
+        # approximations), never one blended statistic.
+        key = (
+            run.routing, loads.pop(), run.window(), run.job_start_times(),
+            run.fidelity(),
+        )
         groups.setdefault(key, []).append(run)
     rows = []
     # Stringify the window for ordering: a warmup-only config carries
     # measurement_ns=None, which floats refuse to compare against.
-    for routing, load, window, _starts in sorted(
-        groups, key=lambda k: (k[0], k[1], tuple(str(part) for part in k[2]), k[3])
+    for routing, load, window, _starts, fidelity in sorted(
+        groups, key=lambda k: (k[0], k[1], tuple(str(part) for part in k[2]), k[3], k[4])
     ):
-        matched = groups[(routing, load, window, _starts)]
+        matched = groups[(routing, load, window, _starts, fidelity)]
         ensure_uniform(matched, f"loadcurve/{pattern}")
         warmup, measurement = window
+        # Flow-level runs have no packets: their windowed latency columns
+        # come from the message-level analogues (see docs/fidelity.md).
+        latency = "measured_message_latency" if fidelity == "flow" else "measured_packet_latency"
         rows.append(
             {
                 "routing": routing,
                 "pattern": pattern,
+                "fidelity": fidelity,
                 "offered_load": load,
                 "window_ns": f"{warmup:g}+{measurement:g}" if measurement else f"{warmup:g}+",
                 "accepted_throughput_gbps": mean_metric(matched, "accepted_throughput_gbps"),
-                "latency_mean_ns": mean_metric(matched, "measured_packet_latency_mean_ns"),
-                "latency_p50_ns": mean_metric(matched, "measured_packet_latency_p50_ns"),
-                "latency_p99_ns": mean_metric(matched, "measured_packet_latency_p99_ns"),
+                "latency_mean_ns": mean_metric(matched, f"{latency}_mean_ns"),
+                "latency_p50_ns": mean_metric(matched, f"{latency}_p50_ns"),
+                "latency_p99_ns": mean_metric(matched, f"{latency}_p99_ns"),
             }
         )
     return rows
@@ -573,6 +594,7 @@ def build_report(
     placement: Optional[str] = None,
     start_time: Optional[float] = None,
     knobs: Optional[Dict[str, Dict[str, object]]] = None,
+    fidelity: Optional[str] = None,
 ) -> str:
     """Build a named report from a result store, rendered in ``fmt``.
 
@@ -583,9 +605,12 @@ def build_report(
     (the steady-state latency-vs-offered-load curve, one row per routing ×
     load), ``ml/<pattern>`` (standalone ML-collective intensity per routing)
     or ``trace/<name>`` (stored trace-replay intensity per routing).
-    ``routing``/``seed``/``scale``/``placement`` narrow the stored
-    runs considered; metrics are aggregated (mean) across whatever still
-    matches.  Backs ``dragonfly-sim report``.
+    ``routing``/``seed``/``scale``/``placement``/``fidelity`` narrow the
+    stored runs considered; metrics are aggregated (mean) across whatever
+    still matches.  ``fidelity`` disambiguates stores holding packet- and
+    flow-level runs of one scenario (see docs/fidelity.md): the two are
+    different approximations and are never averaged together.  Backs
+    ``dragonfly-sim report``.
     """
     if routing is not None:
         # Stored runs carry canonical algorithm names; accept the same
@@ -598,14 +623,14 @@ def build_report(
         title = "Table I — application communication intensity"
         rows = table1_rows(
             store, routing=routing, seed=seed, scale=scale, placement=placement,
-            start_time=start_time, knobs=knobs,
+            start_time=start_time, knobs=knobs, fidelity=fidelity,
         )
         columns = TABLE1_COLUMNS
     elif name in ("table2", "mixed/table2"):
         title = "Table II — mixed workload job sizes and communication time"
         rows = table2_rows(
             store, routing=routing, seed=seed, scale=scale, placement=placement,
-            start_time=start_time, knobs=knobs,
+            start_time=start_time, knobs=knobs, fidelity=fidelity,
         )
         columns = TABLE2_COLUMNS
     elif name == "mixed":
@@ -614,7 +639,7 @@ def build_report(
         title = "Mixed workload — per-application interference (Fig. 10)"
         rows = mixed_rows_from_store(
             store, routings=routings, seed=seed, scale=scale, placement=placement,
-            start_time=start_time, knobs=knobs,
+            start_time=start_time, knobs=knobs, fidelity=fidelity,
         )
         columns = MIXED_COLUMNS
     elif name.startswith("pairwise/"):
@@ -628,7 +653,7 @@ def build_report(
         rows = comparison_rows(
             store, target, background or None,
             routings=routings, seed=seed, scale=scale, placement=placement,
-            start_time=start_time, knobs=knobs,
+            start_time=start_time, knobs=knobs, fidelity=fidelity,
         )
         columns = PAIRWISE_COLUMNS
     elif name.startswith("loadcurve/"):
@@ -639,6 +664,7 @@ def build_report(
         rows = loadcurve_rows(
             store, pattern, routings=routings, seed=seed, scale=scale,
             placement=placement, start_time=start_time, knobs=knobs,
+            fidelity=fidelity,
         )
         columns = LOADCURVE_COLUMNS
     elif name.startswith("ml/"):
@@ -649,6 +675,7 @@ def build_report(
         rows = ml_rows(
             store, pattern, routing=routing, seed=seed, scale=scale,
             placement=placement, start_time=start_time, knobs=knobs,
+            fidelity=fidelity,
         )
         columns = ["routing"] + TABLE1_COLUMNS
     elif name.startswith("trace/"):
@@ -659,6 +686,7 @@ def build_report(
         rows = trace_rows(
             store, replay, routing=routing, seed=seed, scale=scale,
             placement=placement, start_time=start_time, knobs=knobs,
+            fidelity=fidelity,
         )
         columns = ["routing"] + TABLE1_COLUMNS
     elif name.startswith("synthetic/"):
@@ -680,6 +708,7 @@ def build_report(
             rows = synthetic_standalone_rows(
                 store, pattern, routing=routing, seed=seed, scale=scale,
                 placement=placement, start_time=start_time, knobs=knobs,
+                fidelity=fidelity,
             )
             columns = ["routing"] + TABLE1_COLUMNS
         else:
@@ -687,6 +716,7 @@ def build_report(
             rows = synthetic_rows(
                 store, target, routings=routings, seed=seed, scale=scale,
                 placement=placement, start_time=start_time, knobs=knobs,
+                fidelity=fidelity,
             )
             columns = PAIRWISE_COLUMNS
     else:

@@ -166,6 +166,17 @@ def build_parser() -> argparse.ArgumentParser:
              "grids only (see the loadcurve/<pattern> presets)",
     )
     sweep.add_argument(
+        "--fidelities", "--fidelity", nargs="+", default=None, dest="fidelities",
+        help="sweep the base scenario across these simulation fidelities "
+             "(packet, flow) — the cross-fidelity validation axis; "
+             "--scenario grids only (see docs/fidelity.md)",
+    )
+    sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first failing cell instead of finishing "
+             "the rest of the grid and summarizing failures at the end",
+    )
+    sweep.add_argument(
         "--warmup", type=float, default=None, metavar="NS",
         help="override the base scenario's warmup_ns (statistics before this "
              "time are excluded from measurement-window metrics); "
@@ -208,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--routing", default=None, help="override the routing algorithm")
     run.add_argument("--placement", default=None, help="override the placement policy")
+    run.add_argument(
+        "--fidelity", default=None, choices=["packet", "flow"],
+        help="override the simulation fidelity (flow = fluid-flow model for "
+             "large systems; see docs/fidelity.md)",
+    )
     run.add_argument(
         "--store", default=None, metavar="PATH",
         help="record the run's metrics into this result store "
@@ -297,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--start-time", type=float, default=None, metavar="NS",
         help="for pairwise/synthetic reports: only consider co-runs whose "
              "staggered arrival time equals NS (0 = simultaneous arrivals)",
+    )
+    report.add_argument(
+        "--fidelity", default=None, choices=["packet", "flow"],
+        help="only consider runs at this simulation fidelity — disambiguates "
+             "stores holding packet- and flow-level runs of one scenario "
+             "(see docs/fidelity.md)",
     )
     report.add_argument(
         "--knob", action="append", default=None, metavar="JOB:KEY=VALUE",
@@ -404,7 +426,7 @@ def _run_mixed(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweep import SweepResult, build_grid, run_sweep
+    from repro.experiments.sweep import SweepError, SweepResult, build_grid, run_sweep
 
     if args.seeds is not None:
         seeds = args.seeds
@@ -426,6 +448,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         grid = expand_grid(
             bases, routings=args.routings, placements=args.placements, seeds=seeds,
             start_times=args.start_times, offered_loads=args.offered_loads,
+            fidelities=args.fidelities,
         )
         columns = ["scenario", "jobs", "routing", "placement", "seed",
                    "makespan_ns", "mean_comm_time_ns", "total_port_stall_ns", "cached"]
@@ -435,6 +458,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             for flag, value in [
                 ("--start-times", args.start_times),
                 ("--offered-loads", args.offered_loads),
+                ("--fidelities", args.fidelities),
                 ("--warmup", args.warmup),
                 ("--measurement", args.measurement),
             ]
@@ -443,8 +467,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if steady_flags:
             print(
                 f"error: {'/'.join(steady_flags)} requires --scenario "
-                "(workload grids describe fixed-length standalone runs that "
-                "start at t=0)",
+                "(workload grids describe fixed-length packet-level standalone "
+                "runs that start at t=0; the REPRO_FIDELITY environment "
+                "variable re-fidelities them wholesale)",
                 file=sys.stderr,
             )
             return 2
@@ -491,6 +516,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             store=store,
             cache_dir=cache_dir,
             progress=progress,
+            fail_fast=args.fail_fast,
         )
     except sqlite3.DatabaseError as exc:
         broken = store if store is not None else str(Path(cache_dir) / "results.sqlite")
@@ -500,6 +526,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    except SweepError as exc:
+        # Failed cells abort nothing: the completed rows still print (failed
+        # ones carry an `error` column), the failure summary goes to stderr,
+        # and the exit code says the sweep was not clean.
+        print(format_table([r.as_row() for r in exc.results], columns + ["error"]))
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(format_table([r.as_row() for r in results], columns))
     return 0
 
@@ -511,6 +544,8 @@ def _run_run(args: argparse.Namespace) -> int:
         overrides["routing"] = args.routing
     if args.placement is not None:
         overrides["placement"] = args.placement
+    if args.fidelity is not None:
+        overrides["fidelity"] = args.fidelity
     if hasattr(args, "seed"):
         overrides["seed"] = args.seed
     if hasattr(args, "scale"):
@@ -550,6 +585,7 @@ def _run_run(args: argparse.Namespace) -> int:
                     "routing": scenario.config.routing.algorithm,
                     "placement": scenario.placement,
                     "seed": scenario.config.seed,
+                    "fidelity": result.fidelity,
                     "makespan_ns": result.makespan_ns,
                     "mean_comm_time_ns": sum(comm) / len(comm),
                 }
@@ -713,6 +749,7 @@ def _run_report(args: argparse.Namespace) -> int:
                 placement=args.placement,
                 start_time=args.start_time,
                 knobs=_parse_knobs(args.knob),
+                fidelity=args.fidelity,
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -262,6 +262,17 @@ class SimulationConfig:
     #: and hash it only when non-default.
     backend: str = "reference"
 
+    #: Simulation fidelity: how faithfully the network is modelled.
+    #: ``"packet"`` (default) is the flit-timed packet-level simulation the
+    #: paper's results use; ``"flow"`` models messages as fluid flows with
+    #: max-min fair-share link bandwidth (see :mod:`repro.flow`), trading
+    #: per-packet detail for orders-of-magnitude scale.  Unlike ``backend``,
+    #: fidelities are *not* bit-equivalent — flow-level results are
+    #: approximations cross-validated against packet-level ones — but the
+    #: default is still hashed/serialized only when non-default, so existing
+    #: scenario hashes are untouched.
+    fidelity: str = "packet"
+
     def __post_init__(self) -> None:
         # Validate (and canonicalize) the backend name at construction time,
         # mirroring RoutingConfig.algorithm: a typo fails right here naming
@@ -274,6 +285,12 @@ class SimulationConfig:
             object.__setattr__(self, "backend", resolve_backend(self.backend))
         except ValueError as exc:
             raise ValueError(f"SimulationConfig.backend: {exc}") from None
+        from repro.flow import resolve_fidelity
+
+        try:
+            object.__setattr__(self, "fidelity", resolve_fidelity(self.fidelity))
+        except ValueError as exc:
+            raise ValueError(f"SimulationConfig.fidelity: {exc}") from None
         if not (math.isfinite(self.warmup_ns) and self.warmup_ns >= 0):
             raise ValueError(
                 f"warmup_ns must be finite and non-negative, got {self.warmup_ns!r}"
@@ -333,3 +350,7 @@ class SimulationConfig:
     def with_backend(self, backend: str) -> "SimulationConfig":
         """Return a copy pinned to a specific simulation backend."""
         return replace(self, backend=backend)
+
+    def with_fidelity(self, fidelity: str) -> "SimulationConfig":
+        """Return a copy pinned to a specific simulation fidelity."""
+        return replace(self, fidelity=fidelity)

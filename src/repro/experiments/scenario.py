@@ -100,6 +100,11 @@ _OPTIONAL_SIM_KNOBS: Dict[str, object] = {
     # by contract (tests/test_backend_equivalence.py), so a default-backend
     # scenario serializes without it and every golden hash is unchanged.
     "backend": "reference",
+    # Hash neutrality: fidelity DOES change the numbers (flow-level results
+    # are approximations, see docs/fidelity.md), so a non-default fidelity is
+    # hashed as part of the scenario description — but the default is omitted
+    # so every pre-existing packet-level scenario hash is byte-identical.
+    "fidelity": "packet",
 }
 
 _TOP_KEYS = frozenset({"name", "system", "routing", "sim", "placement", "jobs"})
@@ -301,6 +306,7 @@ class Scenario:
         offered_load: Optional[float] = None,
         warmup_ns: Optional[float] = None,
         measurement_ns: Optional[float] = None,
+        fidelity: Optional[str] = None,
     ) -> "Scenario":
         """Copy of this scenario with selected axes replaced (used by grids).
 
@@ -314,7 +320,9 @@ class Scenario:
         every job that supports it (the synthetic traffic family) to
         continuous open-loop injection at that fraction of terminal
         bandwidth; ``warmup_ns``/``measurement_ns`` set the steady-state
-        measurement window of the simulation config.
+        measurement window of the simulation config.  ``fidelity`` switches
+        the simulation fidelity (``"packet"``/``"flow"``, see
+        :mod:`repro.flow`).
         """
         from repro.workloads import application_kwargs
 
@@ -327,6 +335,8 @@ class Scenario:
             config = config.with_system(system)
         if warmup_ns is not None or measurement_ns is not None:
             config = config.with_window(warmup_ns=warmup_ns, measurement_ns=measurement_ns)
+        if fidelity is not None:
+            config = config.with_fidelity(fidelity)
         jobs = list(self.jobs)
         if scale is not None:
             jobs = [
@@ -431,20 +441,26 @@ def expand_grid(
     start_times: Optional[Sequence[float]] = None,
     job_knobs: Optional[Sequence[Dict[str, dict]]] = None,
     offered_loads: Optional[Sequence[float]] = None,
+    fidelities: Optional[Sequence[str]] = None,
 ) -> List[Scenario]:
     """Expand scenario template(s) along declared axes into a grid.
 
     Every base scenario — standalone, pairwise or mixed alike — is copied
     once per cell of ``routings × placements × seeds × start_times ×
-    job_knobs × offered_loads`` (an omitted axis keeps the base value).
-    ``start_times`` staggers the first job's arrival (see
+    job_knobs × offered_loads × fidelities`` (an omitted axis keeps the base
+    value).  ``start_times`` staggers the first job's arrival (see
     :meth:`Scenario.with_updates`); ``job_knobs`` cells are per-job kwargs
     overrides such as ``{"hotspot": {"hot_fraction": 0.5}}``, letting one
     grid sweep a synthetic pattern's knobs; ``offered_loads`` sweeps the
     continuous-injection intensity of every synthetic job, the axis of
-    latency-vs-offered-load curves.  Expanded names are deterministic
-    (``base[par,contiguous,seed=2,t0=5e+06,load=0.4]``), so re-running the
-    same grid hits the same sweep-cache entries.
+    latency-vs-offered-load curves; ``fidelities`` sweeps the simulation
+    fidelity (``"packet"``/``"flow"``), the axis of cross-fidelity
+    validation grids.  Expanded names are deterministic
+    (``base[par,contiguous,seed=2,t0=5e+06,load=0.4,fidelity=flow]``), so
+    re-running the same grid hits the same sweep-cache entries; the default
+    ``"packet"`` fidelity adds no name part (and, since defaults are not
+    serialized, the same cache key), so a fidelity sweep's packet cell is
+    served by previously stored packet-level runs.
     """
     bases = [base] if isinstance(base, Scenario) else list(base)
     if not bases:
@@ -455,10 +471,12 @@ def expand_grid(
     start_axis: List[Optional[float]] = list(start_times) if start_times else [None]
     knob_axis: List[Optional[Dict[str, dict]]] = list(job_knobs) if job_knobs else [None]
     load_axis: List[Optional[float]] = list(offered_loads) if offered_loads else [None]
+    fidelity_axis: List[Optional[str]] = list(fidelities) if fidelities else [None]
 
     grid: List[Scenario] = []
-    for template, routing, placement, seed, start, knobs, load in itertools.product(
-        bases, routing_axis, placement_axis, seed_axis, start_axis, knob_axis, load_axis
+    for template, routing, placement, seed, start, knobs, load, fidelity in itertools.product(
+        bases, routing_axis, placement_axis, seed_axis, start_axis, knob_axis, load_axis,
+        fidelity_axis,
     ):
         expanded = template.with_updates(
             routing=routing,
@@ -467,6 +485,7 @@ def expand_grid(
             start_time=start,
             job_kwargs=knobs,
             offered_load=load,
+            fidelity=fidelity,
         )
         parts = []
         if routing is not None:
@@ -483,6 +502,10 @@ def expand_grid(
             parts.append(_knob_label(knobs))
         if load is not None:
             parts.append(f"load={load:g}")
+        if fidelity is not None and expanded.config.fidelity != "packet":
+            # The default fidelity mirrors start_time=0.0: same name, same
+            # cache key, so stored packet runs serve the packet cell.
+            parts.append(f"fidelity={expanded.config.fidelity}")
         name = f"{template.name}[{','.join(parts)}]" if parts else template.name
         grid.append(expanded.with_updates(name=name))
     return grid

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import traceback as traceback_module
 from dataclasses import asdict, dataclass
 from multiprocessing import Pool
 from pathlib import Path
@@ -49,6 +50,7 @@ from repro.results import ResultStore, flatten_run
 
 __all__ = [
     "CACHE_VERSION",
+    "SweepError",
     "SweepPoint",
     "SweepResult",
     "build_grid",
@@ -161,6 +163,11 @@ class SweepResult:
     while ``wall_seconds`` and ``cached`` describe this particular execution.
     ``point`` is set when the cell was given as a (deprecated)
     :class:`SweepPoint` so its report rows keep the original columns.
+
+    A cell whose simulation raised is returned as a *failed* result:
+    ``error`` holds the one-line ``ExcType: message`` form, ``traceback`` the
+    full formatted traceback from the worker, and ``metrics`` is empty.
+    Failed results are never recorded to the store.
     """
 
     metrics: Dict[str, float]
@@ -168,6 +175,13 @@ class SweepResult:
     cached: bool = False
     scenario: Optional[Scenario] = None
     point: Optional[SweepPoint] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this cell's simulation raised instead of completing."""
+        return self.error is not None
 
     def as_row(self) -> dict:
         """Flat dict row for tabular reports."""
@@ -188,7 +202,34 @@ class SweepResult:
             }
         row.update(self.metrics)
         row["cached"] = self.cached
+        if self.failed:
+            row["error"] = self.error
         return row
+
+
+class SweepError(RuntimeError):
+    """One or more sweep cells failed.
+
+    Raised by :func:`run_sweep` — after the whole grid ran (default), or at
+    the first failure (``fail_fast=True``).  ``results`` holds every cell
+    completed so far (in input order, failed cells included) and ``failures``
+    just the failed ones, so partial sweep output survives the raise.
+    """
+
+    def __init__(self, message: str, results: List["SweepResult"], failures: List["SweepResult"]):
+        super().__init__(message)
+        self.results = results
+        self.failures = failures
+
+
+def _failure_summary(failures: Sequence["SweepResult"], total: int) -> str:
+    """Human-readable multi-line summary of the failed cells of a sweep."""
+    lines = [f"{len(failures)} of {total} sweep cells failed:"]
+    for result in failures:
+        name = result.scenario.name if result.scenario is not None else "<unknown>"
+        lines.append(f"  - {name}: {result.error}")
+    lines.append("(full tracebacks on SweepError.failures[i].traceback)")
+    return "\n".join(lines)
 
 
 def point_hash(point: Union[SweepPoint, Scenario]) -> str:
@@ -228,8 +269,23 @@ def build_grid(
 
 # ---------------------------------------------------------------- execution
 def _run_scenario(scenario: Scenario) -> SweepResult:
-    """Simulate one scenario and reduce it to the flat store metrics."""
-    result = scenario.run()
+    """Simulate one scenario and reduce it to the flat store metrics.
+
+    Failures are *isolated*: an exception from one grid cell comes back as a
+    failed :class:`SweepResult` instead of propagating out of ``pool.imap``
+    and killing every remaining cell of the sweep.  (``KeyboardInterrupt``
+    still propagates — aborting the sweep is handled by the caller.)
+    """
+    try:
+        result = scenario.run()
+    except Exception as exc:
+        return SweepResult(
+            metrics={},
+            wall_seconds=0.0,
+            scenario=scenario,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+        )
     return SweepResult(
         metrics=flatten_run(result), wall_seconds=result.wall_seconds, scenario=scenario
     )
@@ -272,6 +328,7 @@ def run_sweep(
     store: Optional[Union[ResultStore, str, Path]] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int, SweepResult], None]] = None,
+    fail_fast: bool = False,
 ) -> List[SweepResult]:
     """Run every cell of a sweep, in parallel, with optional result caching.
 
@@ -295,6 +352,14 @@ def run_sweep(
     progress:
         Optional callable invoked as ``progress(done, total, result)`` after
         every completed cell.
+    fail_fast:
+        When false (default) a failing cell does not stop the sweep: the
+        rest of the grid still runs and a :class:`SweepError` summarizing
+        every failure is raised only after the grid completes.  When true,
+        the sweep raises at the first failed cell (terminating queued
+        parallel work).  Either way the raised :class:`SweepError` carries
+        the partial ``results``, and successful cells are already recorded
+        in the store.
     """
     items = list(points)
     scenarios: List[Scenario] = []
@@ -317,7 +382,9 @@ def run_sweep(
         def finish(index: int, result: SweepResult, record: bool) -> None:
             result.point = origins[index]
             results[index] = result
-            if record and cache is not None:
+            # Failed cells are never recorded: a later sweep must re-attempt
+            # them instead of serving the failure from cache.
+            if record and cache is not None and not result.failed:
                 cache.record(result.scenario, result.metrics, result.wall_seconds)
 
         pending: List[int] = []
@@ -341,6 +408,7 @@ def run_sweep(
 
         if pending:
             workers = max(1, min(workers, len(pending), os.cpu_count() or 1))
+            pool = None
             if workers == 1:
                 fresh = map(_run_scenario, (scenarios[i] for i in pending))
             else:
@@ -352,12 +420,32 @@ def run_sweep(
                     done += 1
                     if progress is not None:
                         progress(done, len(scenarios), result)
-            finally:
-                if workers > 1:
+                    if fail_fast and result.failed:
+                        partial = [r for r in results if r is not None]
+                        raise SweepError(
+                            _failure_summary([result], len(scenarios)),
+                            partial,
+                            [result],
+                        )
+            except BaseException:
+                # Exceptional exit (a raise above, or Ctrl-C): *terminate*
+                # queued workers instead of close()+join(), which would block
+                # until every remaining scenario simulated to completion.
+                # Already-recorded results stay in the store.
+                if pool is not None:
+                    pool.terminate()
+                    pool.join()
+                raise
+            else:
+                if pool is not None:
                     pool.close()
                     pool.join()
     finally:
         if owns_store and cache is not None:
             cache.close()
 
-    return [result for result in results if result is not None]
+    ordered = [result for result in results if result is not None]
+    failures = [result for result in ordered if result.failed]
+    if failures:
+        raise SweepError(_failure_summary(failures, len(scenarios)), ordered, failures)
+    return ordered

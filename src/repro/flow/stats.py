@@ -1,0 +1,172 @@
+"""Statistics collector for flow-level runs.
+
+:class:`FlowStats` mirrors the *applicable subset* of
+:class:`repro.stats.collector.StatsCollector`: flow-level simulation has no
+packets, buffers or credits, so per-packet counters and stall accounting do
+not exist here — they are **omitted, not faked**.  What it does record:
+
+* message counters — injected / delivered messages and delivered payload
+  bytes (``bytes_ejected`` means exactly what it means at packet level:
+  application payload delivered to destination nodes);
+* per-message end-to-end latencies (create → deliver), the flow-level
+  analogue of the packet-latency distribution;
+* measurement-window splits of all of the above, with the same
+  ``[warmup_ns, warmup_ns + measurement_ns]`` semantics as the packet-level
+  collector, so windowed flow runs report accepted throughput over the
+  measured window only.
+
+The ``register_application`` / ``applications`` surface matches the
+packet-level collector so :class:`repro.mpi.engine.MpiEngine` and
+:class:`repro.experiments.runner.RunResult` work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.engine import Simulator
+from repro.network.packet import Message
+from repro.stats.appstats import ApplicationRecord
+
+__all__ = ["FlowStats"]
+
+
+class FlowStats:
+    """Accumulates message-level metrics during a flow-fidelity run."""
+
+    def __init__(self, sim: Simulator, config: SimulationConfig):
+        self.sim = sim
+        self.config = config
+
+        #: Per-application records registered by the workload layer.
+        self.applications: Dict[int, ApplicationRecord] = {}
+        #: Per-application message delivery log: (create, deliver, size).
+        self.message_log: Dict[int, List[tuple]] = {}
+
+        self.total_messages_injected = 0
+        self.total_messages_delivered = 0
+        self.total_bytes_injected = 0
+        self.total_bytes_delivered = 0
+
+        #: Per-message end-to-end latencies (ns), append-only.
+        self._latencies: List[float] = []
+        #: Delivery timestamps parallel to ``_latencies`` (window filtering).
+        self._deliver_times: List[float] = []
+
+        # ------------------------------------------- measurement window state
+        self.warmup_ns: float = config.warmup_ns
+        self.window_end_ns: Optional[float] = config.window_end_ns
+        self.windowed: bool = config.windowed
+        self.measured_messages_injected = 0
+        self.measured_bytes_injected = 0
+        self.measured_messages_delivered = 0
+        self.measured_bytes_delivered = 0
+
+    # ----------------------------------------------------------- app setup
+    def register_application(self, record: ApplicationRecord) -> None:
+        """Register an application so its log exists even if it stays idle."""
+        self.applications[record.app_id] = record
+        self.message_log.setdefault(record.app_id, [])
+
+    # ----------------------------------------------------------- windowing
+    def in_measurement(self, time: float) -> bool:
+        """Whether ``time`` falls inside the measurement window."""
+        if time < self.warmup_ns:
+            return False
+        return self.window_end_ns is None or time <= self.window_end_ns
+
+    # -------------------------------------------------------- network hooks
+    def record_message_injected(self, message: Message) -> None:
+        """A message entered the network (its flow started)."""
+        self.total_messages_injected += 1
+        self.total_bytes_injected += message.size_bytes
+        if self.windowed and self.in_measurement(self.sim.now):
+            self.measured_messages_injected += 1
+            self.measured_bytes_injected += message.size_bytes
+
+    def record_message_delivered(self, message: Message) -> None:
+        """A message's flow finished transferring and reached its destination."""
+        now = self.sim.now
+        self.total_messages_delivered += 1
+        self.total_bytes_delivered += message.size_bytes
+        if self.windowed and self.in_measurement(now):
+            self.measured_messages_delivered += 1
+            self.measured_bytes_delivered += message.size_bytes
+        self._latencies.append(now - message.create_time)
+        self._deliver_times.append(now)
+        self.message_log.setdefault(message.app_id, []).append(
+            (message.create_time, now, message.size_bytes)
+        )
+
+    # ------------------------------------------------------------ summaries
+    @property
+    def total_bytes_ejected(self) -> int:
+        """Delivered payload bytes (the packet-level counter's exact meaning)."""
+        return self.total_bytes_delivered
+
+    @property
+    def measured_bytes_ejected(self) -> int:
+        """Payload bytes delivered inside the measurement window."""
+        return self.measured_bytes_delivered
+
+    def message_latencies(self) -> np.ndarray:
+        """Array of end-to-end message latencies (ns)."""
+        return np.array(self._latencies)
+
+    def measurement_message_latencies(self) -> np.ndarray:
+        """Latencies of messages *delivered inside the measurement window*."""
+        return np.array(
+            [
+                latency
+                for latency, deliver in zip(self._latencies, self._deliver_times)
+                if self.in_measurement(deliver)
+            ]
+        )
+
+    @property
+    def measurement_elapsed_ns(self) -> float:
+        """Length of the observed measurement window, ns (see packet collector)."""
+        last = self.sim.last_event_time
+        end = last if self.window_end_ns is None else min(self.window_end_ns, last)
+        elapsed = end - self.warmup_ns
+        if elapsed <= 0:
+            raise ValueError(
+                f"empty measurement window: the run ended at {last:.0f} ns but "
+                f"warmup_ns={self.warmup_ns:.0f}; shorten the warmup or lengthen "
+                "the workload"
+            )
+        return elapsed
+
+    def accepted_throughput_bytes_per_ns(self) -> float:
+        """Accepted (delivered) throughput over the measurement window."""
+        return self.measured_bytes_delivered / self.measurement_elapsed_ns
+
+    def measurement_summary(self) -> dict:
+        """Window-restricted counters and rates (windowed runs only)."""
+        elapsed = self.measurement_elapsed_ns
+        return {
+            "warmup_ns": self.warmup_ns,
+            "measurement_elapsed_ns": elapsed,
+            "measured_messages_injected": self.measured_messages_injected,
+            "measured_bytes_injected": self.measured_bytes_injected,
+            "measured_messages_delivered": self.measured_messages_delivered,
+            "measured_bytes_ejected": self.measured_bytes_delivered,
+            "accepted_throughput_bytes_per_ns": self.measured_bytes_delivered / elapsed,
+        }
+
+    def summary(self) -> dict:
+        """Coarse run summary for reports and sanity checks."""
+        summary = {
+            "now_ns": self.sim.last_event_time,
+            "fidelity": "flow",
+            "messages_injected": self.total_messages_injected,
+            "messages_delivered": self.total_messages_delivered,
+            "bytes_ejected": self.total_bytes_delivered,
+            "applications": {a: r.summary() for a, r in self.applications.items()},
+        }
+        if self.windowed:
+            summary["measurement"] = self.measurement_summary()
+        return summary

@@ -78,6 +78,10 @@ class DragonflyTopology:
     under a megabyte of table space.
     """
 
+    #: (router, dst_router) -> minimal first-hop port.  Declared here for
+    #: typing; materialized lazily by __getattr__ on first access.
+    minimal_port_table: List[List[int]]
+
     def __init__(self, config: SystemConfig):
         self.config = config
         self.num_groups = config.num_groups
@@ -155,8 +159,16 @@ class DragonflyTopology:
                     row_ports[dg] = first_local + (lj if lj < li else lj - 1)
             self.group_port_table.append(row_ports)
 
-        #: (router, dst_router) -> minimal first-hop port (-1 on the diagonal).
-        self.minimal_port_table: List[List[int]] = []
+        # minimal_port_table is O(R^2) — by far the largest table (a 2,020-
+        # router flow-mode system would need ~4M entries it never reads), so
+        # it is built lazily on first attribute access; see __getattr__.
+
+    def _build_minimal_port_table(self) -> List[List[int]]:
+        """(router, dst_router) -> minimal first-hop port (-1 on the diagonal)."""
+        a = self.routers_per_group
+        num_r = self.num_routers
+        first_local = self._first_local_port
+        table: List[List[int]] = []
         for r in range(num_r):
             g, li = r // a, r % a
             group_ports = self.group_port_table[r]
@@ -170,7 +182,20 @@ class DragonflyTopology:
                     row_min[dr] = first_local + (lj if lj < li else lj - 1)
                 else:
                     row_min[dr] = group_ports[dg]
-            self.minimal_port_table.append(row_min)
+            table.append(row_min)
+        return table
+
+    def __getattr__(self, name: str) -> "List[List[int]]":
+        # Lazy O(R^2) table: built on first access, then cached as a plain
+        # instance attribute so the per-packet hot path (routing/base.py)
+        # keeps its direct attribute read with zero property overhead.
+        if name == "minimal_port_table":
+            table = self._build_minimal_port_table()
+            self.minimal_port_table = table
+            return table
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # ------------------------------------------------------------ id helpers
     @property

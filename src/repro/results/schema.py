@@ -53,6 +53,19 @@ over exactly these per-app rows.
 ``packet_latency_mean_ns``/``packet_latency_p99_ns`` are added when the run
 recorded per-packet latencies (``record_packets`` and at least one packet).
 
+**Flow-fidelity runs** (``SimulationConfig.fidelity = "flow"``, see
+docs/fidelity.md) have no packets, so packet-only keys
+(``packets_injected``, ``packets_ejected``, ``total_port_stall_ns``,
+``packet_latency_*``, ``measured_packet*``) are *omitted, not faked*.  In
+their place flow runs emit the message-level analogues —
+``messages_injected``, ``messages_delivered``,
+``message_latency_mean_ns``/``message_latency_p99_ns`` and (windowed)
+``measured_messages_injected``/``measured_messages_delivered`` plus
+``measured_message_latency_{mean,p50,p99}_ns``.  Keys shared by both
+fidelities (``makespan_ns``, ``bytes_ejected``, every per-application key,
+``accepted_throughput_gbps`` …) mean the same thing at either fidelity,
+which is what makes cross-fidelity comparison queries meaningful.
+
 **Windowed runs** (``SimulationConfig.warmup_ns``/``measurement_ns`` set)
 additionally emit steady-state metrics computed over the measurement window
 only — warmup transients are excluded from every one of them:
@@ -113,14 +126,23 @@ def flatten_run(result: "RunResult") -> Dict[str, Number]:
     from repro.metrics.latency import latency_summary
 
     stats = result.stats
+    flow_fidelity = getattr(result, "fidelity", "packet") == "flow"
     metrics: Dict[str, Number] = {
         "makespan_ns": float(result.makespan_ns),
         "events_fired": int(result.sim.events_fired),
-        "packets_injected": int(stats.total_packets_injected),
-        "packets_ejected": int(stats.total_packets_ejected),
         "bytes_ejected": int(stats.total_bytes_ejected),
-        "total_port_stall_ns": float(stats.port_stall.total()),
     }
+    if flow_fidelity:
+        # Flow-level runs have no packets: packet counters, stall accounting
+        # and packet-latency percentiles are *omitted, not faked*.  The
+        # message-level analogues below are what flow fidelity can honestly
+        # measure (see docs/fidelity.md).
+        metrics["messages_injected"] = int(stats.total_messages_injected)
+        metrics["messages_delivered"] = int(stats.total_messages_delivered)
+    else:
+        metrics["packets_injected"] = int(stats.total_packets_injected)
+        metrics["packets_ejected"] = int(stats.total_packets_ejected)
+        metrics["total_port_stall_ns"] = float(stats.port_stall.total())
 
     comm_times = []
     for name, job in result.jobs.items():
@@ -146,7 +168,14 @@ def flatten_run(result: "RunResult") -> Dict[str, Number]:
     # single-job scenarios, matching the pre-scenario sweep layout).
     metrics["mean_comm_time_ns"] = float(sum(comm_times) / len(comm_times))
 
-    if result.config.record_packets:
+    if flow_fidelity:
+        latencies = stats.message_latencies()
+        if latencies.size:
+            metrics["message_latency_mean_ns"] = float(latencies.mean())
+            metrics["message_latency_p99_ns"] = float(
+                _percentile(latencies, 99.0)
+            )
+    elif result.config.record_packets:
         latency = latency_summary(stats)
         if latency.count:
             metrics["packet_latency_mean_ns"] = latency.mean
@@ -159,8 +188,16 @@ def flatten_run(result: "RunResult") -> Dict[str, Number]:
         window = stats.measurement_summary()
         metrics["warmup_ns"] = float(window["warmup_ns"])
         metrics["measurement_elapsed_ns"] = float(window["measurement_elapsed_ns"])
-        metrics["measured_packets_injected"] = int(window["measured_packets_injected"])
-        metrics["measured_packets_ejected"] = int(window["measured_packets_ejected"])
+        if flow_fidelity:
+            metrics["measured_messages_injected"] = int(
+                window["measured_messages_injected"]
+            )
+            metrics["measured_messages_delivered"] = int(
+                window["measured_messages_delivered"]
+            )
+        else:
+            metrics["measured_packets_injected"] = int(window["measured_packets_injected"])
+            metrics["measured_packets_ejected"] = int(window["measured_packets_ejected"])
         metrics["measured_bytes_ejected"] = int(window["measured_bytes_ejected"])
         # bytes/ns -> Gb/s (1 byte/ns == 8 Gb/s).
         metrics["accepted_throughput_gbps"] = (
@@ -173,10 +210,29 @@ def flatten_run(result: "RunResult") -> Dict[str, Number]:
         ]
         if loads:
             metrics["offered_load"] = float(sum(loads) / len(loads))
-        if result.config.record_packets:
+        if flow_fidelity:
+            measured_latencies = stats.measurement_message_latencies()
+            if measured_latencies.size:
+                metrics["measured_message_latency_mean_ns"] = float(
+                    measured_latencies.mean()
+                )
+                metrics["measured_message_latency_p50_ns"] = float(
+                    _percentile(measured_latencies, 50.0)
+                )
+                metrics["measured_message_latency_p99_ns"] = float(
+                    _percentile(measured_latencies, 99.0)
+                )
+        elif result.config.record_packets:
             measured = latency_summary(stats, measurement_only=True)
             if measured.count:
                 metrics["measured_packet_latency_mean_ns"] = measured.mean
                 metrics["measured_packet_latency_p50_ns"] = measured.median
                 metrics["measured_packet_latency_p99_ns"] = measured.p99
     return metrics
+
+
+def _percentile(values: "object", q: float) -> float:
+    """Percentile helper kept local so numpy stays a lazy import here."""
+    import numpy as np
+
+    return float(np.percentile(values, q))

@@ -147,9 +147,10 @@ def ensure_uniform(runs: Sequence["StoredResult"], what: str) -> None:
     if len(shapes) > 1:
         raise ValueError(
             f"the {len(runs)} stored {what} runs span {len(shapes)} different "
-            "job-size/kwargs/arrival/routing/placement/system configurations; "
-            "narrow the selection (e.g. --routing/--placement/--scale/--seed/"
-            "--start-time/--knob) so one configuration remains"
+            "job-size/kwargs/arrival/routing/placement/system/sim "
+            "configurations; narrow the selection (e.g. --routing/--placement/"
+            "--scale/--seed/--start-time/--knob/--fidelity) so one "
+            "configuration remains"
         )
 
 
@@ -277,6 +278,15 @@ class StoredResult:
             float(sim.get("warmup_ns", 0.0)),
             float(measurement) if measurement is not None else None,
         )
+
+    def fidelity(self) -> str:
+        """Simulation fidelity of the run (``"packet"``/``"flow"``).
+
+        The fidelity sim knob is serialized only when non-default, so every
+        pre-fidelity stored run reads back as packet-level — which is exactly
+        what it was.
+        """
+        return str(self.scenario.get("sim", {}).get("fidelity", "packet"))
 
     def job_kwargs_key(self) -> Tuple[str, ...]:
         """Canonical per-job kwargs (hashable), the knob-identity of the run."""
@@ -517,6 +527,7 @@ class ResultStore:
         start_time: Optional[float] = None,
         knobs: Optional[Dict[str, Dict[str, object]]] = None,
         offered_load: Optional[float] = None,
+        fidelity: Optional[str] = None,
     ) -> List[StoredResult]:
         """Stored runs matching every given filter (None = wildcard).
 
@@ -530,7 +541,9 @@ class ResultStore:
         ``job_knobs`` sweep is singled out;
         ``offered_load`` selects runs whose every continuous-injection job
         offers exactly that load (runs without a continuous job never match),
-        which is how one point of an offered-load sweep is singled out.
+        which is how one point of an offered-load sweep is singled out;
+        ``fidelity`` selects runs of one simulation fidelity
+        (``"packet"`` also matches every pre-fidelity stored run).
         """
         query = "SELECT * FROM runs"
         # Rows written before a CACHE_VERSION bump are orphaned, not served:
@@ -574,6 +587,11 @@ class ResultStore:
                 if {load for load in r.job_offered_loads() if load is not None}
                 == {float(offered_load)}
             ]
+        if fidelity is not None:
+            from repro.flow import resolve_fidelity
+
+            wanted = resolve_fidelity(fidelity)
+            results = [r for r in results if r.fidelity() == wanted]
         return results
 
     def runs_named(self, base: str, **filters: Any) -> List[StoredResult]:
@@ -633,6 +651,9 @@ class ResultStore:
                         # config: the grouping axes of offered-load sweeps.
                         "offered_loads": run.job_offered_loads(),
                         "window": run.window(),
+                        # Simulation fidelity: packet- and flow-level runs of
+                        # one family must never blend into one statistic.
+                        "fidelity": run.fidelity(),
                         "app": app,
                         "metric": key_metric,
                         "value": value,

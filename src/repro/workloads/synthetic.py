@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 import zlib
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
     from repro.mpi.engine import RankContext, RankOp
 
@@ -106,6 +106,7 @@ class ContinuousInjection:
                 # Every rank advances in lockstep (identical period), so maps
                 # older than the previous iteration can never be needed again.
                 pattern._dest_maps.pop(iteration - 2, None)
+                pattern._source_maps.pop(iteration - 2, None)
                 target = int(dests[ctx.rank])
                 if 0 <= target < pattern.num_ranks and target != ctx.rank:
                     ctx.isend(target, message, tag=iteration)
@@ -156,6 +157,12 @@ class SyntheticPattern(Application):
         # so one rank's computation serves the whole job (O(n) per iteration
         # instead of O(n^2)).  Bounded by `iterations` entries.
         self._dest_maps: Dict[int, np.ndarray] = {}
+        # Memoized inverse of each destination map: senders stably sorted by
+        # destination plus the per-destination offsets, so a rank's source
+        # list is one O(1) slice instead of an O(n) scan — without it every
+        # rank scans the whole map and an iteration costs O(n^2) overall,
+        # the difference between seconds and minutes at 100k ranks.
+        self._source_maps: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ----------------------------------------------------------- the pattern
     def destinations(self, iteration: int) -> np.ndarray:
@@ -198,6 +205,28 @@ class SyntheticPattern(Application):
             self._dest_maps[iteration] = cached
         return cached
 
+    def sources_of(self, rank: int, iteration: int) -> np.ndarray:
+        """Ranks targeting ``rank`` in ``iteration``, in ascending order.
+
+        Equivalent to ``np.flatnonzero(destinations(iteration) == rank)``
+        but served from a shared stable-sorted inverse map, so the whole
+        job's receive matching costs O(n log n) once per iteration instead
+        of O(n) per rank (O(n²) per iteration in total).
+        """
+        inverse = self._source_maps.get(iteration)
+        if inverse is None:
+            dests = self._destinations_cached(iteration)
+            # Stable sort keeps equal destinations in ascending-sender order,
+            # so each slice reproduces flatnonzero's ordering exactly.
+            order = np.argsort(dests, kind="stable").astype(np.int64)
+            starts = np.searchsorted(dests[order], np.arange(self.num_ranks + 1))
+            inverse = (order, starts)
+            self._source_maps[iteration] = inverse
+        order, starts = inverse
+        if not 0 <= rank < self.num_ranks:
+            return np.empty(0, dtype=np.int64)
+        return order[starts[rank] : starts[rank + 1]]
+
     # -------------------------------------------------------------- program
     def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         if self.offered_load is not None:
@@ -214,7 +243,7 @@ class SyntheticPattern(Application):
                 target = int(dests[ctx.rank])
                 if 0 <= target < self.num_ranks and target != ctx.rank:
                     requests.append(ctx.isend(target, message, tag=iteration))
-                for source in np.flatnonzero(dests == ctx.rank):
+                for source in self.sources_of(ctx.rank, iteration):
                     if int(source) != ctx.rank:
                         requests.append(ctx.irecv(int(source), tag=iteration))
                 if requests:

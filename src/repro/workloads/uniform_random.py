@@ -10,7 +10,7 @@ while guaranteeing each rank also receives exactly one message per iteration.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple
 if TYPE_CHECKING:  # pragma: no cover - engine imports workloads at runtime
     from repro.mpi.engine import RankContext, RankOp
 
@@ -42,23 +42,38 @@ class UniformRandom(Application):
             raise ValueError("message size must be positive")
         self.message_bytes = message_bytes
         self.compute_ns = float(compute_ns)
+        # One application instance is shared by every rank of a job and the
+        # permutation is a pure function of (seed, iteration): memoize it —
+        # with its inverse — so one rank's computation serves the whole job
+        # (O(n) per iteration instead of O(n²)).  Entries are evicted a few
+        # iterations behind the newest; a straggler rank that misses simply
+        # recomputes the identical arrays.
+        self._perms: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
-    def _permutation(self, iteration: int) -> np.ndarray:
-        """Shared random permutation of ranks for one iteration.
+    def _permutation(self, iteration: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Shared random permutation (and its inverse) for one iteration.
 
         The permutation is derived from (seed, iteration) only, so every rank
         computes an identical mapping without any coordination.
         """
-        rng = np.random.default_rng((self.seed + 1) * 1_000_003 + iteration)
-        return rng.permutation(self.num_ranks)
+        cached = self._perms.get(iteration)
+        if cached is None:
+            rng = np.random.default_rng((self.seed + 1) * 1_000_003 + iteration)
+            perm = rng.permutation(self.num_ranks)
+            inverse = np.empty_like(perm)
+            inverse[perm] = np.arange(self.num_ranks)
+            cached = (perm, inverse)
+            self._perms[iteration] = cached
+            self._perms.pop(iteration - 4, None)
+        return cached
 
     def program(self, ctx: "RankContext") -> Iterator["RankOp"]:
         message = self.scaled(self.message_bytes)
         for iteration in range(self.iterations):
             ctx.begin_iteration(iteration)
-            perm = self._permutation(iteration)
+            perm, inverse = self._permutation(iteration)
             target = int(perm[ctx.rank])
-            source = int(np.argwhere(perm == ctx.rank)[0][0])
+            source = int(inverse[ctx.rank])
             requests = []
             if target != ctx.rank:
                 requests.append(ctx.isend(target, message, tag=iteration))

@@ -244,3 +244,98 @@ def test_staggered_job_injects_nothing_before_arrival(backend):
     late_packets = [r for r in network.stats.packet_records if r.app_id == late_job.job_id]
     assert late_packets, "the staggered job sent nothing"
     assert all(record.inject_time >= arrival for record in late_packets)
+
+
+# -------------------------------------------------------------- flow fidelity
+#: Scenarios per routing algorithm at flow fidelity (the flow solver has no
+#: per-algorithm hot core, so a smaller sample per algorithm suffices).
+FLOW_SCENARIOS_PER_ALGORITHM = 2
+
+FLOW_CASES = [
+    (algorithm, case)
+    for algorithm in sorted(ALGORITHMS)
+    for case in range(FLOW_SCENARIOS_PER_ALGORITHM)
+]
+
+
+def _run_flow(algorithm: str, case_seed: int):
+    """Build one randomized scenario and run it at flow fidelity.
+
+    Mirrors :func:`_run` (same jobs, placements and seeds) with the packet
+    network swapped for :class:`repro.flow.network.FlowNetwork` — the
+    fidelity axis of the invariant layer.
+    """
+    from repro.flow.network import FlowNetwork
+
+    rng = random.Random(0xD43F ^ case_seed)
+    config = (
+        SimulationConfig(system=tiny_system(), seed=rng.randint(1, 50))
+        .with_routing(algorithm)
+        .with_fidelity("flow")
+    )
+    sim_backend = get_backend("reference")
+    sim = sim_backend.create_simulator(trace=True)
+    network = FlowNetwork(sim, config)
+    engine = MpiEngine(network)
+    allocator = NodeAllocator(network.num_nodes)
+    policy = create_placement(rng.choice(["random", "contiguous"]))
+    placement_rng = network.rng.get("placement")
+    for name, ranks, kwargs, start_time in _random_jobs(rng):
+        application = create_application(name, ranks, **kwargs)
+        nodes = allocator.allocate(name, ranks, policy, placement_rng)
+        engine.add_job(name, nodes, application=application, start_time=start_time)
+    engine.run(max_events=5_000_000)
+    assert engine.all_finished, f"{algorithm} flow case {case_seed} did not complete"
+    return sim, network, engine
+
+
+@pytest.mark.parametrize(
+    "algorithm,case", FLOW_CASES, ids=[f"{a}-{c}" for a, c in FLOW_CASES]
+)
+def test_invariants_hold_at_flow_fidelity(algorithm, case, monkeypatch):
+    """Conservation and monotone-clock invariants on the fidelity axis.
+
+    Flow fidelity has no packets, buffers or credits, so the conserved
+    quantity is the *message*: every message injected as a flow is delivered
+    exactly once, with every payload byte accounted for, and the network
+    drains completely.
+    """
+    from repro.flow import ENV_FIDELITY
+
+    monkeypatch.delenv(ENV_FIDELITY, raising=False)
+    sim, network, engine = _run_flow(algorithm, case)
+    stats = network.stats
+
+    # --- message/byte conservation: injected == delivered exactly once.
+    assert stats.total_messages_injected > 0
+    assert stats.total_messages_delivered == stats.total_messages_injected
+    assert stats.total_bytes_delivered == stats.total_bytes_injected
+    delivered_in_logs = sum(len(log) for log in stats.message_log.values())
+    assert delivered_in_logs == stats.total_messages_delivered
+    assert network.quiescent(), "flows left in flight after completion"
+    assert network.active_flows == 0
+    for log in stats.message_log.values():
+        for create, deliver, size in log:
+            assert deliver >= create
+            assert size > 0
+
+    # --- every end-to-end latency is positive and finite.
+    latencies = stats.message_latencies()
+    assert latencies.size == stats.total_messages_delivered
+    assert (latencies > 0).all()
+
+    # --- monotone clock: fired events never travel back in time.
+    times = [time for time, _kind, _name in sim.trace_log]
+    assert times, "trace recorded no events"
+    assert all(earlier <= later for earlier, later in zip(times, times[1:]))
+    assert sim.now >= times[-1]
+
+    # --- per-application sanity: jobs started at (or after) their arrival.
+    for job in engine.jobs:
+        record = job.record
+        assert record.finished
+        for rank in range(job.num_ranks):
+            assert record.start_time[rank] >= job.start_time
+            assert record.finish_time[rank] >= record.start_time[rank]
+            assert record.comm_time.get(rank, 0.0) >= 0.0
+            assert record.compute_time.get(rank, 0.0) >= 0.0

@@ -190,3 +190,165 @@ def test_run_sweep_reports_progress():
         progress=lambda done, total, result: seen.append((done, total, result.cached)),
     )
     assert seen == [(1, 2, False), (2, 2, False)]
+
+
+# ------------------------------------------------------- failure isolation
+def _failing_scenario(seed=1):
+    """A scenario that raises inside run(): continuous injection, no bound."""
+    from repro.config import SimulationConfig, tiny_system
+    from repro.experiments.configs import AppSpec
+    from repro.experiments.scenario import Scenario
+
+    return Scenario(
+        name=f"sweep/unbounded-{seed}",
+        jobs=(AppSpec("shift", 6, {"offered_load": 0.5}),),
+        config=SimulationConfig(system=tiny_system(), seed=seed),
+    )
+
+
+def test_failing_cell_does_not_kill_the_sweep(tmp_path):
+    """Regression: one crashing scenario used to abort the whole grid."""
+    from repro.experiments.sweep import SweepError
+    from repro.results import ResultStore
+
+    store_path = tmp_path / "results.sqlite"
+    grid = [_tiny_point(seed=1), _failing_scenario(), _tiny_point(seed=2)]
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(grid, workers=1, store=store_path)
+    error = excinfo.value
+    # The raise happens only after the whole grid ran: all three cells are
+    # present, in input order, with the good ones fully simulated.
+    assert len(error.results) == 3
+    good_first, failed, good_last = error.results
+    assert good_first.metrics["makespan_ns"] > 0
+    assert good_last.metrics["makespan_ns"] > 0
+    assert failed.failed and not good_first.failed and not good_last.failed
+    assert failed.error.startswith("ValueError")
+    assert "Traceback" in failed.traceback
+    assert failed.metrics == {}
+    assert error.failures == [failed]
+    assert "1 of 3 sweep cells failed" in str(error)
+    assert "sweep/unbounded-1" in str(error)
+    # The failed cell surfaces in report rows via an error column.
+    assert failed.as_row()["error"] == failed.error
+    assert "error" not in good_first.as_row()
+
+    # Successes are cached; the failure is not (it must be re-attempted).
+    with ResultStore(store_path) as store:
+        assert store.get(grid[0].to_scenario()) is not None
+        assert store.get(grid[1]) is None
+        assert store.get(grid[2].to_scenario()) is not None
+    with pytest.raises(SweepError) as again:
+        run_sweep(grid, workers=1, store=store_path)
+    assert [r.cached for r in again.value.results] == [True, False, True]
+
+
+def test_failing_cell_is_isolated_across_worker_processes():
+    """The failure comes back as a result through the pool, not a raise."""
+    from repro.experiments.sweep import SweepError
+
+    grid = [_failing_scenario(), _tiny_point(seed=1), _tiny_point(seed=2)]
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(grid, workers=2)
+    results = excinfo.value.results
+    assert len(results) == 3
+    assert results[0].failed and results[0].error.startswith("ValueError")
+    assert results[1].metrics["makespan_ns"] > 0
+    assert results[2].metrics["makespan_ns"] > 0
+
+
+def test_fail_fast_stops_at_the_first_failure():
+    from repro.experiments.sweep import SweepError
+
+    seen = []
+    grid = [_tiny_point(seed=1), _failing_scenario(), _tiny_point(seed=2)]
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(
+            grid,
+            workers=1,
+            fail_fast=True,
+            progress=lambda done, total, result: seen.append(result.failed),
+        )
+    # The third cell never ran: partial results stop at the failure.
+    assert seen == [False, True]
+    assert len(excinfo.value.results) == 2
+    assert excinfo.value.results[-1].failed
+
+
+def test_interrupting_a_parallel_sweep_terminates_instead_of_draining(tmp_path):
+    """Regression: Ctrl-C used to close()+join() the pool, which blocks until
+    every queued scenario simulated to completion.  The sweep must exit
+    promptly (pool.terminate) while surfacing the KeyboardInterrupt."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import threading
+    import time
+    from pathlib import Path
+
+    if os.name != "posix":
+        pytest.skip("POSIX signal semantics required")
+
+    script = tmp_path / "interrupt_sweep.py"
+    script.write_text(
+        """
+import sys
+from repro.config import SimulationConfig, tiny_system
+from repro.experiments.configs import AppSpec
+from repro.experiments.scenario import Scenario
+from repro.experiments.sweep import run_sweep
+
+# ~2s per cell: long enough that draining the queue after the interrupt
+# (the old bug) takes tens of seconds, far beyond the parent's bound.
+grid = [
+    Scenario(
+        name=f"slow/{seed}",
+        jobs=(AppSpec("UR", 16, {"scale": 1.0, "iterations": 500, "seed": seed}),),
+        config=SimulationConfig(system=tiny_system(), seed=seed),
+    )
+    for seed in range(1, 17)
+]
+
+try:
+    run_sweep(
+        grid,
+        workers=2,
+        progress=lambda done, total, result: print(f"DONE {done}", flush=True),
+    )
+except KeyboardInterrupt:
+    print("INTERRUPTED", flush=True)
+    sys.exit(42)
+print("DRAINED", flush=True)
+sys.exit(0)
+"""
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    watchdog = threading.Timer(120.0, proc.kill)
+    watchdog.start()
+    try:
+        # Wait for the first completed cell, then interrupt the parent only
+        # (the workers keep running unless the sweep terminates them).
+        line = proc.stdout.readline()
+        assert line.strip() == "DONE 1", f"unexpected first line {line!r}"
+        interrupted_at = time.monotonic()
+        os.kill(proc.pid, signal.SIGINT)
+        remaining = proc.communicate(timeout=60)[0]
+        elapsed = time.monotonic() - interrupted_at
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 42, f"exit {proc.returncode}, output: {remaining!r}"
+    assert "INTERRUPTED" in remaining
+    assert "DRAINED" not in remaining
+    # Draining ~14 queued 2s-cells over 2 workers would take >10s; a
+    # terminated pool exits in well under that.
+    assert elapsed < 8.0, f"sweep took {elapsed:.1f}s to exit after SIGINT (drained?)"

@@ -128,11 +128,13 @@ def test_lulesh_has_face_edge_corner_neighbors():
 
 def test_uniform_random_permutation_is_shared_and_uniform():
     app = UniformRandom(16, seed=3)
-    perm_a = app._permutation(5)
-    perm_b = app._permutation(5)
+    perm_a, inverse_a = app._permutation(5)
+    perm_b, _ = app._permutation(5)
     assert np.array_equal(perm_a, perm_b)
     assert sorted(perm_a.tolist()) == list(range(16))
-    assert not np.array_equal(app._permutation(5), app._permutation(6))
+    # The memoized inverse really is the inverse permutation.
+    assert np.array_equal(perm_a[inverse_a], np.arange(16))
+    assert not np.array_equal(app._permutation(5)[0], app._permutation(6)[0])
 
 
 def test_intensity_ordering_of_analytic_peaks():
@@ -203,7 +205,7 @@ def test_synthetic_streams_are_decorrelated_between_patterns_and_ur():
     ur = UniformRandom(16, seed=0)
     bursty = Bursty(16, seed=0, duty_cycle=1.0)
     assert not all(
-        np.array_equal(ur._permutation(i), bursty.destinations(i)) for i in range(4)
+        np.array_equal(ur._permutation(i)[0], bursty.destinations(i)) for i in range(4)
     )
     hotspot = Hotspot(16, seed=0)
     assert not all(
