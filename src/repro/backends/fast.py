@@ -457,10 +457,10 @@ class FastRouter(Router):
     link_free = _try_output
 
     # reprolint: hot
-    def credit_returned(self, port: int, vc: int) -> None:
+    def credit_returned(self, out_port: int, vc: int) -> None:
         # Inline CreditTracker.release (same guard, same mutation) ahead of
         # the pump, skipping two call frames per credit event.
-        credits = self.credits[port]
+        credits = self.credits[out_port]
         avail = credits._credits
         if avail[vc] >= credits.initial:
             raise RuntimeError(
@@ -469,7 +469,7 @@ class FastRouter(Router):
             )
         avail[vc] += 1
         credits._used -= 1
-        nxt = self._pump(port)
+        nxt = self._pump(out_port)
         if nxt is not None:
             self._route_head(*nxt)
 

@@ -206,7 +206,7 @@ class Scenario:
             raise TypeError(f"config must be a SimulationConfig, got {type(self.config).__name__}")
         jobs = tuple(self.jobs)
         if not jobs:
-            raise ValueError("at least one application spec is required")
+            raise ValueError("jobs must contain at least one application spec")
         # AppSpec validates and canonicalizes itself at construction (name,
         # rank count, kwargs, start_time); only cross-job rules live here.
         names = [spec.name for spec in jobs]

@@ -268,6 +268,7 @@ def build_grid(
 
 
 # ---------------------------------------------------------------- execution
+# reprolint: boundary
 def _run_scenario(scenario: Scenario) -> SweepResult:
     """Simulate one scenario and reduce it to the flat store metrics.
 
@@ -278,6 +279,11 @@ def _run_scenario(scenario: Scenario) -> SweepResult:
     """
     try:
         result = scenario.run()
+        return SweepResult(
+            metrics=flatten_run(result),
+            wall_seconds=result.wall_seconds,
+            scenario=scenario,
+        )
     except Exception as exc:
         return SweepResult(
             metrics={},
@@ -286,9 +292,6 @@ def _run_scenario(scenario: Scenario) -> SweepResult:
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback_module.format_exc(),
         )
-    return SweepResult(
-        metrics=flatten_run(result), wall_seconds=result.wall_seconds, scenario=scenario
-    )
 
 
 def _open_store(

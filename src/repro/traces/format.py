@@ -254,7 +254,7 @@ class Trace:
     def to_payload(self) -> Dict[str, Any]:
         """Plain-dict form: the inline-trace value of ``AppSpec(name="trace")``."""
         payload: Dict[str, Any] = {
-            "version": self.version,  # reprolint: disable=REP201 -- format version is always explicit on disk
+            "version": self.version,  # always explicit on disk, default or not
             "app": self.app,
             "num_ranks": self.num_ranks,
             "peak_ingress_bytes": self.peak_ingress_bytes,
@@ -266,6 +266,7 @@ class Trace:
         return payload
 
     @classmethod
+    # reprolint: boundary=TraceError
     def from_payload(cls, payload: Dict[str, Any], label: str = "trace payload") -> "Trace":
         """Parse and fully validate a plain-dict trace (inline ``AppSpec`` form)."""
         if not isinstance(payload, dict):
@@ -337,7 +338,7 @@ class Trace:
         target.parent.mkdir(parents=True, exist_ok=True)
         header: Dict[str, Any] = {
             "kind": "header",
-            "version": self.version,  # reprolint: disable=REP201 -- format version is always explicit on disk
+            "version": self.version,  # always explicit on disk, default or not
             "app": self.app,
             "num_ranks": self.num_ranks,
             "ops": self.op_count,
@@ -359,6 +360,7 @@ class Trace:
         return target
 
     @classmethod
+    # reprolint: boundary=TraceError
     def load(cls, path: Union[str, Path]) -> "Trace":
         """Parse the JSON-lines form, strictly, with ``file:line``-named errors."""
         label = str(path)

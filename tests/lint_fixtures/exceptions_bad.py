@@ -1,0 +1,43 @@
+# lint-as: src/repro/fixtures/exceptions_bad.py
+"""Deliberate REP6xx breakage: validation and boundary contracts."""
+
+from dataclasses import dataclass
+
+
+class ParseError(ValueError):
+    pass
+
+
+@dataclass
+class Window:
+    width_flits: int = 4
+
+    def __post_init__(self):
+        if self.width_flits < 0:
+            raise RuntimeError("negative width")  # expect: REP601
+        if self.width_flits > 64:
+            raise ValueError("too large")  # expect: REP602
+        if self.width_flits == 13:
+            raise ValueError("width_flits must not be 13")
+
+
+# reprolint: boundary
+def run_cell(cell):  # expect: REP603
+    return cell.run()
+
+
+# reprolint: boundary
+def run_guarded(cell):
+    try:
+        return cell.run()
+    except Exception as exc:
+        return ("failed", str(exc))
+
+
+# reprolint: boundary=ParseError
+def parse(text):
+    if not text:
+        raise ValueError("empty input")  # expect: REP603
+    if text == "?":
+        raise ParseError("unknown marker")
+    return text

@@ -1,0 +1,12 @@
+# lint-as: src/repro/fixtures/backends/fastwidget.py
+"""Optimized backend with one typo'd override and one renamed parameter."""
+
+from repro.fixtures.widget import Widget
+
+
+class FastWidget(Widget):
+    def transmit(self, pkt, when_ns=0.0):  # expect: REP502
+        return (pkt, when_ns)
+
+    def recieve(self, packet):  # expect: REP501
+        return packet

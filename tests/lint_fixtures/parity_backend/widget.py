@@ -1,0 +1,13 @@
+# lint-as: src/repro/fixtures/widget.py
+"""Reference class for the REP5xx backend-parity fixtures."""
+
+
+class Widget:
+    def __init__(self, size):
+        self.size = size
+
+    def transmit(self, packet, when_ns=0.0):
+        return (packet, when_ns)
+
+    def receive(self, packet):
+        return packet

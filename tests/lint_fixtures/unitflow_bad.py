@@ -1,0 +1,16 @@
+# lint-as: src/repro/fixtures/unitflow_bad.py
+"""Deliberate REP31x breakage: units flow through locals into parameters."""
+
+
+def _serialize(size_bytes, rate_gbps):
+    return size_bytes / rate_gbps
+
+
+def schedule(delay_ns):
+    start_s = delay_ns  # expect: REP312
+    return start_s
+
+
+def queue_delay(packet_bytes):
+    budget = packet_bytes
+    return _serialize(3.0, budget)  # expect: REP311

@@ -1,0 +1,9 @@
+# lint-as: src/repro/fixtures/origin.py
+"""Source of the unit: a nanosecond value three calls from the gbps sink."""
+
+from repro.fixtures.relay import relay
+
+
+def kick_off():
+    delay_ns = 12.0
+    return relay(delay_ns)

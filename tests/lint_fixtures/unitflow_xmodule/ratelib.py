@@ -1,0 +1,6 @@
+# lint-as: src/repro/fixtures/ratelib.py
+"""Cross-module REP311 fixture: the sink declares its unit via suffix."""
+
+
+def set_rate(rate_gbps):
+    return rate_gbps

@@ -1,0 +1,8 @@
+# lint-as: src/repro/fixtures/relay.py
+"""Middle hop: no suffix anywhere, the unit arrives via call-site dataflow."""
+
+from repro.fixtures.ratelib import set_rate
+
+
+def relay(value):
+    return set_rate(value)  # expect: REP311

@@ -1,17 +1,23 @@
 """Tests for the reprolint static-analysis tool.
 
-Three layers:
+Four layers:
 
 * **fixtures** — every file under ``tests/lint_fixtures/`` encodes its own
   expectations: a ``# expect: CODE`` trailing comment marks each line that
   must produce exactly that diagnostic, and files without markers must lint
   clean.  A ``# lint-as: <path>`` first line lints the file under a virtual
-  path (rules like REP102 are scoped to simulation code).
-* **framework** — suppression comments, JSON schema, exit codes, the rule
-  registry.
-* **self-check** — the shipped tree (``src``, ``tools``, ``examples``) must
-  be reprolint-clean; this is the tier-1 enforcement the CI lint job
-  mirrors.
+  path (rules like REP102 are scoped to simulation code).  A *subdirectory*
+  of fixtures lints as one group, so cross-module rules (REP311 dataflow,
+  REP5xx parity) see imports resolve; groups get a parity manifest computed
+  from themselves, keeping the committed manifest out of fixture runs.
+* **framework** — suppression comments, unused-disable audit, JSON/SARIF
+  schemas, the baseline ratchet, exit codes, the rule registry.
+* **parity drift** — the mutation test: editing a reference hot-core body
+  without touching its fast override must trip REP503 against the committed
+  manifest (and ``# reprolint: parity-reviewed`` must waive it).
+* **self-check** — the shipped tree (``src``, ``tools``, ``examples``,
+  ``benchmarks``) must be reprolint-clean; this is the tier-1 enforcement
+  the CI lint job mirrors.
 """
 
 from __future__ import annotations
@@ -30,6 +36,14 @@ if str(ROOT) not in sys.path:
 
 from tools.reprolint import all_rules, lint_paths, lint_sources  # noqa: E402
 from tools.reprolint.__main__ import main  # noqa: E402
+from tools.reprolint.checkers.parity import compute_manifest  # noqa: E402
+from tools.reprolint.core import build_project  # noqa: E402
+from tools.reprolint.output import (  # noqa: E402
+    compare_to_baseline,
+    findings_to_sarif,
+    load_baseline,
+    render_baseline,
+)
 
 FIXTURES = ROOT / "tests" / "lint_fixtures"
 _EXPECT = re.compile(r"#\s*expect:\s*(?P<code>REP\d+)")
@@ -40,6 +54,13 @@ def _fixture_cases():
     return sorted(FIXTURES.glob("*.py"), key=lambda p: p.name)
 
 
+def _fixture_group_cases():
+    return sorted(
+        (p for p in FIXTURES.iterdir() if p.is_dir() and list(p.glob("*.py"))),
+        key=lambda p: p.name,
+    )
+
+
 def _expected_findings(text: str):
     expected = []
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -48,11 +69,14 @@ def _expected_findings(text: str):
     return sorted(expected)
 
 
+def _virtual_path(path: Path, text: str) -> str:
+    match = _LINT_AS.search(text.splitlines()[0]) if text else None
+    return match.group("path") if match else str(path)
+
+
 def _lint_fixture(path: Path):
     text = path.read_text()
-    match = _LINT_AS.search(text.splitlines()[0]) if text else None
-    virtual = match.group("path") if match else str(path)
-    return lint_sources({virtual: text})
+    return lint_sources({_virtual_path(path, text): text})
 
 
 @pytest.mark.parametrize("fixture", _fixture_cases(), ids=lambda p: p.name)
@@ -66,13 +90,33 @@ def test_fixture_expectations(fixture):
     )
 
 
+@pytest.mark.parametrize("group", _fixture_group_cases(), ids=lambda p: p.name)
+def test_fixture_group_expectations(group):
+    """Subdirectory fixtures lint together, so cross-module rules fire."""
+    sources = {}
+    expected = []
+    for path in sorted(group.glob("*.py")):
+        text = path.read_text()
+        virtual = _virtual_path(path, text)
+        sources[virtual] = text
+        expected.extend(
+            (virtual, line, code) for line, code in _expected_findings(text)
+        )
+    manifest = compute_manifest(build_project(sources))
+    findings = lint_sources(sources, parity_manifest=manifest)
+    actual = sorted((f.path, f.line, f.code) for f in findings)
+    assert actual == sorted(expected), (
+        f"{group.name}: expected {sorted(expected)}, got {actual}"
+    )
+
+
 def test_every_rule_family_has_a_bad_fixture():
-    """All four families are exercised by at least one deliberate breakage."""
+    """All six families are exercised by at least one deliberate breakage."""
     covered = set()
-    for fixture in _fixture_cases():
+    for fixture in FIXTURES.rglob("*.py"):
         for _, code in _expected_findings(fixture.read_text()):
-            covered.add(code[:4])  # REP1 / REP2 / REP3 / REP4
-    assert {"REP1", "REP2", "REP3", "REP4"} <= covered
+            covered.add(code[:4])  # REP1 .. REP6
+    assert {"REP1", "REP2", "REP3", "REP4", "REP5", "REP6"} <= covered
 
 
 # ----------------------------------------------------------- suppressions
@@ -105,6 +149,18 @@ def test_suppression_inside_string_literal_is_ignored():
     assert [(f.line, f.code) for f in findings] == [(3, "REP101")]
 
 
+def test_unused_disable_reported_as_rep002():
+    source = "x = 1  # reprolint: disable=REP101\n"
+    findings = lint_sources({"src/repro/x.py": source}, report_unused_disables=True)
+    assert [(f.line, f.code) for f in findings] == [(1, "REP002")]
+    # A directive that still suppresses something is not reported.
+    used = (
+        "import numpy as np\n"
+        "a = np.random.default_rng()  # reprolint: disable=REP101\n"
+    )
+    assert lint_sources({"src/repro/x.py": used}, report_unused_disables=True) == []
+
+
 def test_syntax_error_reported_as_rep001():
     findings = lint_sources({"src/repro/broken.py": "def f(:\n"})
     assert len(findings) == 1
@@ -125,6 +181,175 @@ def test_json_output_schema(tmp_path, capsys):
     assert set(finding) == {"path", "line", "col", "code", "message"}
     assert finding["line"] == 2
     assert finding["code"] == "REP101"
+
+
+# ----------------------------------------------------------- SARIF output
+def test_sarif_output_shape(tmp_path, capsys):
+    """The emitted SARIF is the stable 2.1.0 subset code scanning ingests."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    out = tmp_path / "out.sarif"
+    status = main(["--format", "sarif", "--output", str(out), str(bad)])
+    capsys.readouterr()
+    assert status == 1
+    log = json.loads(out.read_text())
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(all_rules())
+    (result,) = run["results"]
+    assert result["ruleId"] == "REP101"
+    assert rule_ids[result["ruleIndex"]] == "REP101"
+    assert result["level"] == "error"
+    assert result["message"]["text"]
+    (location,) = result["locations"]
+    region = location["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    assert region["startColumn"] >= 1
+
+
+def test_sarif_rule_catalogue_is_emitted_even_when_clean():
+    log = findings_to_sarif([])
+    assert log["runs"][0]["results"] == []
+    assert log["runs"][0]["tool"]["driver"]["rules"]
+
+
+# -------------------------------------------------------------- baseline
+_BAD_SOURCE = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def test_baseline_absorbs_known_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_BAD_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--baseline", str(baseline), "--update-baseline", str(bad)]) == 0
+    capsys.readouterr()
+    entries = load_baseline(baseline)
+    assert len(entries) == 1 and entries[0][1] == "REP101"
+    # Same tree, same baseline: clean exit, finding suppressed.
+    assert main(["--baseline", str(baseline), str(bad)]) == 0
+    captured = capsys.readouterr()
+    assert "REP101" not in captured.out
+    assert "baselined" in captured.err
+
+
+def test_new_finding_fails_despite_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_BAD_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--baseline", str(baseline), "--update-baseline", str(bad)]) == 0
+    bad.write_text(_BAD_SOURCE + "rng2 = np.random.default_rng()\n")
+    assert main(["--baseline", str(baseline), str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "REP101" in captured.out  # only the new finding is reported
+
+
+def test_fixed_finding_makes_baseline_stale(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(_BAD_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--baseline", str(baseline), "--update-baseline", str(bad)]) == 0
+    bad.write_text("x = 1\n")  # the debt is paid
+    assert main(["--baseline", str(baseline), str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "stale baseline entry" in captured.err
+    # The ratchet: --update-baseline shrinks it back to clean.
+    assert main(["--baseline", str(baseline), "--update-baseline", str(bad)]) == 0
+    capsys.readouterr()
+    assert load_baseline(baseline) == []
+    assert main(["--baseline", str(baseline), str(bad)]) == 0
+    capsys.readouterr()
+
+
+def test_baseline_multiset_semantics():
+    """A baseline entry absorbs one occurrence; a duplicate is new debt."""
+    from tools.reprolint.core import Finding
+
+    finding = Finding(path="a.py", line=1, col=0, code="REP101", message="m")
+    twin = Finding(path="a.py", line=9, col=0, code="REP101", message="m")
+    baseline = load_baseline_text(render_baseline([finding]))
+    comparison = compare_to_baseline([finding, twin], baseline)
+    assert len(comparison.matched) == 1
+    assert len(comparison.new) == 1
+    assert comparison.stale == []
+
+
+def load_baseline_text(text: str):
+    payload = json.loads(text)
+    return [(e["path"], e["code"], e["message"]) for e in payload["findings"]]
+
+
+def test_malformed_baseline_is_a_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{\"version\": 99}")
+    assert main(["--baseline", str(baseline), str(bad)]) == 2
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------- parity drift
+_PARITY_FILES = ("src/repro/network/router.py", "src/repro/backends/fast.py")
+_REF_DOCSTRING = '"""A packet arrived on ``in_port`` (called by the upstream link)."""'
+
+
+def _parity_sources(mutate_reference=False, mark_reviewed=False):
+    sources = {rel: (ROOT / rel).read_text() for rel in _PARITY_FILES}
+    text = sources["src/repro/network/router.py"]
+    assert _REF_DOCSTRING in text
+    if mutate_reference:
+        text = text.replace(
+            _REF_DOCSTRING, _REF_DOCSTRING + "\n        _parity_probe = 0", 1
+        )
+    if mark_reviewed:
+        text = text.replace(
+            "    def receive_packet(self",
+            "    # reprolint: parity-reviewed\n    def receive_packet(self",
+            1,
+        )
+    sources["src/repro/network/router.py"] = text
+    return sources
+
+
+def test_shipped_parity_pair_is_clean_against_manifest():
+    findings = lint_sources(_parity_sources(), select=["REP5"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_reference_edit_without_fast_touch_trips_rep503():
+    """The mutation test: a reference hot-core change with an untouched fast
+    override is semantic drift, caught against the committed manifest."""
+    findings = lint_sources(_parity_sources(mutate_reference=True), select=["REP5"])
+    codes = {f.code for f in findings}
+    assert codes == {"REP503"}, "\n".join(f.render() for f in findings)
+    (finding,) = findings
+    assert "receive_packet" in finding.message
+    assert finding.path == "src/repro/network/router.py"
+
+
+def test_parity_reviewed_directive_waives_rep503():
+    findings = lint_sources(
+        _parity_sources(mutate_reference=True, mark_reviewed=True), select=["REP5"]
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_update_parity_manifest_matches_committed(tmp_path):
+    """--update-parity output for the shipped tree equals the committed
+    manifest (i.e. the manifest is up to date and regeneration is stable)."""
+    sources = {}
+    for base in ("src", "tools", "examples", "benchmarks"):
+        for path in sorted((ROOT / base).rglob("*.py")):
+            rel = str(path.relative_to(ROOT))
+            sources[rel] = path.read_text()
+    manifest = compute_manifest(build_project(sources))
+    committed = json.loads(
+        (ROOT / "tools" / "reprolint" / "parity_manifest.json").read_text()
+    )
+    assert manifest == committed
 
 
 def test_exit_codes(tmp_path, capsys):
@@ -155,7 +380,7 @@ def test_rule_registry_codes_are_wellformed():
         assert re.fullmatch(r"REP\d{3}", code)
         assert description
     families = {code[:4] for code in rules}
-    assert {"REP1", "REP2", "REP3", "REP4"} <= families
+    assert {"REP1", "REP2", "REP3", "REP4", "REP5", "REP6"} <= families
 
 
 # -------------------------------------------------------------- self-check
@@ -164,6 +389,8 @@ HOT_FILES = (
     "src/repro/network/router.py",
     "src/repro/stats/collector.py",
 )
+
+SELF_CHECK_PATHS = ("src", "tools", "examples", "benchmarks")
 
 
 def test_hot_markers_still_present():
@@ -179,16 +406,38 @@ def test_hot_markers_still_present():
         assert "# reprolint: hot" in text, f"{rel} lost its hot markers"
 
 
+def test_boundary_markers_still_present():
+    """The worker-boundary contracts stay under REP603 enforcement."""
+    assert "# reprolint: boundary" in (
+        ROOT / "src/repro/experiments/sweep.py"
+    ).read_text()
+    assert "# reprolint: boundary=TraceError" in (
+        ROOT / "src/repro/traces/format.py"
+    ).read_text()
+
+
 def test_shipped_tree_is_lint_clean():
-    """The enforcement test: src, tools and examples carry no findings."""
-    findings = lint_paths([str(ROOT / "src"), str(ROOT / "tools"), str(ROOT / "examples")])
+    """The enforcement test: the default lint targets carry no findings,
+    and no committed suppression is stale."""
+    findings = lint_paths(
+        [str(ROOT / base) for base in SELF_CHECK_PATHS],
+        report_unused_disables=True,
+    )
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
 def test_cli_entry_point_runs_clean():
-    """`python -m tools.reprolint src tools examples` exits 0 on the tree."""
+    """The exact CI invocation exits 0 on the shipped tree."""
     result = subprocess.run(
-        [sys.executable, "-m", "tools.reprolint", "src", "tools", "examples"],
+        [
+            sys.executable,
+            "-m",
+            "tools.reprolint",
+            *SELF_CHECK_PATHS,
+            "--baseline",
+            ".reprolint-baseline.json",
+            "--report-unused-disables",
+        ],
         cwd=ROOT,
         capture_output=True,
         text=True,

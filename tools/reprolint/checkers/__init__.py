@@ -1,5 +1,21 @@
-"""The four domain rule families.  Importing this package registers them."""
+"""The seven domain rule families.  Importing this package registers them."""
 
-from tools.reprolint.checkers import determinism, hashstability, hotpath, units
+from tools.reprolint.checkers import (
+    determinism,
+    exceptions,
+    hashstability,
+    hotpath,
+    parity,
+    units,
+    unitflow,
+)
 
-__all__ = ["determinism", "hashstability", "hotpath", "units"]
+__all__ = [
+    "determinism",
+    "exceptions",
+    "hashstability",
+    "hotpath",
+    "parity",
+    "units",
+    "unitflow",
+]

@@ -1,0 +1,331 @@
+"""REP6xx — exception contracts.
+
+Two error-handling idioms carry real weight in this codebase and both decay
+silently when violated:
+
+* **validated-at-construction dataclasses** — ``SystemConfig``,
+  ``RoutingConfig``, ``SimulationConfig``, ``AppSpec``, ``Trace`` … promise
+  that an invalid instance cannot exist and that the error *names the field*
+  (the CLI and the scenario parser surface these messages verbatim, and the
+  test suite asserts on them).
+* **worker boundaries** — code that runs behind ``pool.imap``
+  (``sweep._run_scenario``) or parses untrusted input (the trace parser)
+  must never let a bare exception escape: the sweep's failure-isolation
+  contract (PR 9) and the trace format's ``file:line``-named ``TraceError``
+  contract (PR 7) both depend on total wrapping.
+
+Rules:
+
+* **REP601** — a ``__post_init__`` of a dataclass raises something other
+  than ``ValueError``/``TypeError`` (or a project subclass of them).
+  Construction-time validation failures are value errors by contract.
+* **REP602** — a construction-time ``ValueError`` whose message names no
+  field of the dataclass: the user cannot tell *what* to fix.
+* **REP603** — a function marked ``# reprolint: boundary`` (catch-all
+  contract) contains work outside its ``except Exception`` wrapper, lacks
+  the wrapper entirely, or raises; a function marked ``# reprolint:
+  boundary=ErrorType`` (domain-error contract) raises anything that is not
+  the declared error type or a subclass of it.
+
+The boundary markers live on (or on the line above) the ``def``, exactly
+like ``# reprolint: hot``, so the contract is declared next to the code it
+constrains and new boundaries opt in with one comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+from tools.reprolint.symbols import module_name_of
+
+#: Exception types construction-time validation may raise.
+_VALID_CONSTRUCTION_ERRORS = {"ValueError", "TypeError"}
+
+
+def _exception_name(node: ast.expr) -> Optional[str]:
+    """Name of the raised exception class (``X`` in ``raise X(...)``)."""
+    target = node.func if isinstance(node, ast.Call) else node
+    while isinstance(target, ast.Attribute):
+        # ``module.Error`` — the trailing component names the class.
+        target = ast.Name(id=target.attr, ctx=ast.Load())
+        break
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _is_subclass_by_name(
+    module_name: str, exc_name: str, allowed: Set[str], project: ProjectIndex
+) -> bool:
+    """True when ``exc_name`` (as seen from ``module_name``) is one of
+    ``allowed`` or chases to one through project base-class names."""
+    seen: Set[str] = set()
+    frontier = [exc_name]
+    while frontier:
+        name = frontier.pop()
+        leaf = name.split(".")[-1]
+        if leaf in allowed:
+            return True
+        if leaf in seen:
+            continue
+        seen.add(leaf)
+        cls = project.symbols.resolve_class(module_name, name)
+        if cls is None:
+            # Same-name classes elsewhere in the project (cross-module raise
+            # of an imported error type that did not resolve).
+            for candidate in project.symbols.classes.values():
+                if candidate.name == leaf:
+                    cls = candidate
+                    break
+        if cls is not None:
+            frontier.extend(cls.bases)
+    return False
+
+
+def _message_text(call: ast.expr) -> str:
+    """Best-effort text of the raise's message argument."""
+    if not isinstance(call, ast.Call) or not call.args:
+        return ""
+    return ast.unparse(call.args[0])
+
+
+def _names_a_field(message: str, fields: Dict[str, object]) -> bool:
+    """Whether the message mentions any dataclass field.
+
+    Field names match directly (``q_learning_rate``), with underscores read
+    as spaces (``packet size`` ~ ``packet_size_bytes``), or by any
+    individual component of three or more characters (``groups`` ~
+    ``num_groups``) — loose enough for natural phrasing, strict enough that
+    a message naming nothing at all is caught.
+    """
+    normalized = "".join(c if c.isalnum() else " " for c in message.lower())
+    padded = f" {normalized} "
+    for name in fields:
+        lowered = name.lower()
+        if lowered in normalized.replace(" ", "_") or lowered.replace("_", " ") in normalized:
+            return True
+        for part in lowered.split("_"):
+            if len(part) >= 3 and f" {part} " in padded:
+                return True
+    return False
+
+
+@register
+class ExceptionContractChecker(Checker):
+    name = "exception-contracts"
+    rules = {
+        "REP601": "dataclass __post_init__ raises a non-ValueError: "
+        "construction-time validation failures are value errors",
+        "REP602": "construction-time ValueError names no field of the "
+        "dataclass; the message must say what to fix",
+        "REP603": "worker-boundary function lets exceptions escape its "
+        "error-wrapping contract",
+    }
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        module_name = module_name_of(module.path)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_post_init(module, module_name, node, project)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                contract = self._boundary_contract(module, node)
+                if contract is not None:
+                    yield from self._check_boundary(
+                        module, module_name, node, contract, project
+                    )
+
+    # ------------------------------------------------------- REP601 / REP602
+    def _check_post_init(
+        self,
+        module: ModuleInfo,
+        module_name: str,
+        cls: ast.ClassDef,
+        project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        fields = project.fields_of(cls.name)
+        if fields is None:
+            return
+        post_init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__"
+            ),
+            None,
+        )
+        if post_init is None:
+            return
+        for node in ast.walk(post_init):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc_name = _exception_name(node.exc)
+            if exc_name is None:
+                continue
+            if not _is_subclass_by_name(
+                module_name, exc_name, _VALID_CONSTRUCTION_ERRORS, project
+            ):
+                yield self.finding(
+                    module, node, "REP601",
+                    f"{cls.name}.__post_init__ raises {exc_name}; "
+                    "construction-time validation must raise ValueError "
+                    "(or a subclass) naming the field",
+                )
+                continue
+            message = _message_text(node.exc)
+            if message and not _names_a_field(message, fields):
+                yield self.finding(
+                    module, node, "REP602",
+                    f"{cls.name}.__post_init__ raises without naming any "
+                    f"field of {cls.name}; say which field is invalid",
+                )
+
+    # ---------------------------------------------------------------- REP603
+    def _boundary_contract(
+        self, module: ModuleInfo, node: ast.FunctionDef
+    ) -> Optional[str]:
+        start = node.lineno
+        if node.decorator_list:
+            start = min(d.lineno for d in node.decorator_list)
+        for line in range(start - 1, node.lineno + 1):
+            if line in module.boundary_lines:
+                return module.boundary_lines[line]
+        return None
+
+    def _check_boundary(
+        self,
+        module: ModuleInfo,
+        module_name: str,
+        func: ast.FunctionDef,
+        contract: str,
+        project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        if contract:
+            yield from self._check_domain_contract(
+                module, module_name, func, contract, project
+            )
+        else:
+            yield from self._check_catch_all(module, func)
+
+    def _check_domain_contract(
+        self,
+        module: ModuleInfo,
+        module_name: str,
+        func: ast.FunctionDef,
+        declared: str,
+        project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        """Every raise in the subtree must be the declared domain error."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                continue  # bare re-raise inside a handler: the caught error
+                # was already vetted by the handler clause
+            exc_name = _exception_name(node.exc)
+            if exc_name is None:
+                continue
+            if not _is_subclass_by_name(module_name, exc_name, {declared}, project):
+                yield self.finding(
+                    module, node, "REP603",
+                    f"{func.name}() is a {declared}-boundary but raises "
+                    f"{exc_name}; wrap it in {declared} so callers see one "
+                    "error type",
+                )
+
+    def _check_catch_all(
+        self, module: ModuleInfo, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        """The function's risky work must live inside ``except Exception``."""
+        guarded_tries = [
+            stmt
+            for stmt in ast.walk(func)
+            if isinstance(stmt, ast.Try) and self._catches_exception(stmt)
+        ]
+        if not guarded_tries:
+            yield self.finding(
+                module, func, "REP603",
+                f"{func.name}() is marked as a worker boundary but has no "
+                "'except Exception' wrapper; a failure would escape the worker",
+            )
+            return
+        for finding in self._scan_statements(module, func, func.body, guarded=False):
+            yield finding
+
+    @staticmethod
+    def _catches_exception(node: ast.Try) -> bool:
+        for handler in node.handlers:
+            if handler.type is None:
+                return True
+            name = _exception_name(handler.type)
+            if name in ("Exception", "BaseException"):
+                return True
+        return False
+
+    def _scan_statements(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef,
+        statements: List[ast.stmt],
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Raise):
+                yield self.finding(
+                    module, stmt, "REP603",
+                    f"{func.name}() is a catch-all worker boundary but "
+                    "raises; return the wrapped failure value instead",
+                )
+                continue
+            if isinstance(stmt, ast.Try):
+                if self._catches_exception(stmt):
+                    yield from self._scan_statements(module, func, stmt.body, True)
+                    for handler in stmt.handlers:
+                        # Handler code builds the failure value; it is the
+                        # wrapping idiom itself.  Raises there still escape:
+                        yield from self._scan_statements(
+                            module, func, handler.body, True
+                        )
+                else:
+                    yield from self._scan_statements(module, func, stmt.body, guarded)
+                    for handler in stmt.handlers:
+                        yield from self._scan_statements(
+                            module, func, handler.body, guarded
+                        )
+                yield from self._scan_statements(module, func, stmt.orelse, guarded)
+                yield from self._scan_statements(module, func, stmt.finalbody, guarded)
+                continue
+            if not guarded and self._is_risky(stmt):
+                yield self.finding(
+                    module, stmt, "REP603",
+                    f"statement in {func.name}() can raise outside the "
+                    "'except Exception' wrapper; move it inside the try so "
+                    "the boundary holds",
+                )
+            if isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor)):
+                yield from self._scan_statements(module, func, stmt.body, guarded)
+                yield from self._scan_statements(module, func, stmt.orelse, guarded)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._scan_statements(module, func, stmt.body, guarded)
+
+    @staticmethod
+    def _is_risky(stmt: ast.stmt) -> bool:
+        """A statement that can realistically raise: it calls something or
+        subscripts/attributes its way into data."""
+        headers: List[ast.expr]
+        if isinstance(stmt, (ast.If, ast.While)):
+            headers = [stmt.test]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            headers = [stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            headers = [item.context_expr for item in stmt.items]
+        else:
+            headers = [stmt]  # type: ignore[list-item]
+        for expr in headers:
+            for node in ast.walk(expr):
+                if isinstance(node, (ast.Call, ast.Subscript)):
+                    return True
+        return False

@@ -1,0 +1,329 @@
+"""REP5xx — backend-parity analysis (the static leg of the backend contract).
+
+The ``repro.backends`` seam duplicates the hot core: every optimized backend
+class (``FastRouter``, a future ``CompiledRouter``, …) re-implements
+reference methods with the *same semantics*.  The differential suite proves
+bit-equivalence at test time; this family proves the structural half at lint
+time, so drift is caught before a single scenario runs:
+
+* **REP501** — a backend class defines a method that neither overrides a
+  method (or shadows an instance attribute) of its reference base class nor
+  is used inside the backend class itself.  The classic instance is a
+  typo'd override: it never runs, and the reference implementation silently
+  serves every call.
+* **REP502** — a backend override's signature is incompatible with the
+  reference method it shadows (different positional parameter names/order,
+  or a required parameter the reference defaults).  Such an override works
+  until the first caller uses the reference calling convention.
+* **REP503** — a reference hot-core method whose body hash differs from the
+  committed parity manifest while its backend override's hash does not: the
+  reference semantics moved and the optimized copy did not.  Acknowledge an
+  intentionally reference-only change with ``# reprolint: parity-reviewed``
+  on (or above) the method's ``def`` line.
+* **REP504** — the parity manifest is out of date: a pair is missing, a
+  backend override changed (hash mismatch on the fast side), or a recorded
+  method no longer exists.  Run ``python -m tools.reprolint
+  --update-parity`` and commit the manifest — the diff is the review
+  surface.
+
+A *backend class* is any class defined in a module whose path contains a
+``backends`` package component and whose base class resolves (through the
+project symbol table) to a class outside that package.  The pairing, like
+every cross-module fact here, only considers modules present in the lint
+run: linting a lone file never produces parity noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+from tools.reprolint.symbols import ClassInfo, FunctionInfo, body_hash
+
+#: Manifest schema version (bump on breaking change).
+MANIFEST_VERSION = 1
+
+#: Methods every class grows implicitly; never parity-paired.
+_IGNORED_METHODS = {"__repr__", "__str__", "__eq__", "__hash__"}
+
+
+def _is_backend_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "backends" in parts
+
+
+def _reference_base(
+    cls: ClassInfo, project: ProjectIndex
+) -> Optional[ClassInfo]:
+    """The nearest project-resolvable base outside the backends package."""
+    for base in cls.bases:
+        resolved = project.symbols.resolve_class(cls.module, base)
+        if resolved is not None and not _is_backend_path(resolved.path):
+            return resolved
+    return None
+
+
+def backend_pairs(
+    project: ProjectIndex,
+) -> List[Tuple[ClassInfo, ClassInfo, FunctionInfo, FunctionInfo]]:
+    """Every (backend class, reference class, ref method, backend method)
+    override pair resolvable in this lint run.
+
+    Class-level aliases (``link_free = _try_output``) count as overrides of
+    the aliased name, carried by the aliased local method's body.
+    """
+    pairs: List[Tuple[ClassInfo, ClassInfo, FunctionInfo, FunctionInfo]] = []
+    for cls in sorted(project.symbols.classes.values(), key=lambda c: c.qualname):
+        if not _is_backend_path(cls.path):
+            continue
+        reference = _reference_base(cls, project)
+        if reference is None:
+            continue
+        overridden: Dict[str, FunctionInfo] = {}
+        for name, method in cls.methods.items():
+            ref_method = project.symbols.lookup_method(reference, name)
+            if ref_method is not None:
+                overridden[name] = method
+        for alias, target in cls.method_aliases.items():
+            ref_method = project.symbols.lookup_method(reference, alias)
+            if ref_method is not None and target in cls.methods:
+                overridden.setdefault(alias, cls.methods[target])
+        for name in sorted(overridden):
+            if name in _IGNORED_METHODS:
+                continue
+            ref_method = project.symbols.lookup_method(reference, name)
+            assert ref_method is not None
+            pairs.append((cls, reference, ref_method, overridden[name]))
+    return pairs
+
+
+def compute_manifest(project: ProjectIndex) -> dict:
+    """The parity manifest for the current tree (what ``--update-parity``
+    writes): reference-method body hashes paired with their overrides'."""
+    entries: Dict[str, dict] = {}
+    for cls, reference, ref_method, fast_method in backend_pairs(project):
+        entry = entries.setdefault(
+            ref_method.qualname,
+            {
+                "module": ref_method.module,
+                "reference": body_hash(ref_method.node),
+                "overrides": {},
+            },
+        )
+        entry["overrides"][f"{cls.qualname}.{fast_method.name}"] = {
+            "module": cls.module,
+            "hash": body_hash(fast_method.node),
+        }
+    return {"version": MANIFEST_VERSION, "pairs": dict(sorted(entries.items()))}
+
+
+def _method_marked_reviewed(module: ModuleInfo, node: ast.FunctionDef) -> bool:
+    """True when ``# reprolint: parity-reviewed`` sits on/above the def (or
+    its decorators)."""
+    start = node.lineno
+    if node.decorator_list:
+        start = min(d.lineno for d in node.decorator_list)
+    return any(line in module.parity_lines for line in range(start - 1, node.lineno + 1))
+
+
+@register
+class BackendParityChecker(Checker):
+    name = "backend-parity"
+    rules = {
+        "REP501": "backend method overrides nothing in its reference base "
+        "and is unused in its own class (typo'd override)",
+        "REP502": "backend override signature incompatible with the "
+        "reference method it shadows",
+        "REP503": "reference hot-core method changed without a matching "
+        "backend change (semantic drift; see parity manifest)",
+        "REP504": "backend parity manifest is out of date; run "
+        "--update-parity and commit the result",
+    }
+
+    def __init__(self) -> None:
+        self._by_path: Dict[str, List[Finding]] = {}
+
+    # ------------------------------------------------------------ life cycle
+    def prepare(self, project: ProjectIndex) -> None:
+        pairs = backend_pairs(project)
+        if not pairs:
+            return
+        for cls, reference, ref_method, fast_method in pairs:
+            self._check_signature(cls, ref_method, fast_method, project)
+        self._check_unshadowed(project)
+        self._check_drift(project, pairs)
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        yield from self._by_path.get(module.path, [])
+
+    def _add(self, path: str, line: int, col: int, code: str, message: str) -> None:
+        if code not in self.rules:  # pragma: no cover - authoring bug
+            raise ValueError(f"unregistered code {code}")
+        self._by_path.setdefault(path, []).append(
+            Finding(path=path, line=line, col=col, code=code, message=message)
+        )
+
+    # --------------------------------------------------------------- REP501
+    def _check_unshadowed(self, project: ProjectIndex) -> None:
+        for cls in sorted(project.symbols.classes.values(), key=lambda c: c.qualname):
+            if not _is_backend_path(cls.path):
+                continue
+            reference = _reference_base(cls, project)
+            if reference is None:
+                continue
+            used = self._locally_used_names(cls)
+            chain = project.symbols.mro(reference)
+            for name, method in sorted(cls.methods.items()):
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if project.symbols.lookup_method(reference, name) is not None:
+                    continue
+                if any(name in ancestor.attrs for ancestor in chain):
+                    continue  # property shadowing a reference instance attribute
+                if name in used or name in cls.method_aliases.values():
+                    continue  # genuine local helper
+                self._add(
+                    cls.path, method.node.lineno, method.node.col_offset, "REP501",
+                    f"{cls.name}.{name} overrides nothing in "
+                    f"{reference.name} and is never used inside "
+                    f"{cls.name}: a typo'd override never runs",
+                )
+
+    @staticmethod
+    def _locally_used_names(cls: ClassInfo) -> set:
+        used = set()
+        for node in ast.walk(cls.node):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                used.add(node.attr)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+        return used
+
+    # --------------------------------------------------------------- REP502
+    def _check_signature(
+        self,
+        cls: ClassInfo,
+        ref_method: FunctionInfo,
+        fast_method: FunctionInfo,
+        project: ProjectIndex,
+    ) -> None:
+        if fast_method.has_vararg or fast_method.has_kwarg:
+            return  # pass-through signatures accept the reference convention
+        if ref_method.has_vararg or ref_method.has_kwarg:
+            return
+        if fast_method.is_property or ref_method.is_property:
+            return
+        if fast_method.name != ref_method.name:
+            return  # alias pair: the carrier method has its own signature
+        problems: List[str] = []
+        if fast_method.params != ref_method.params:
+            problems.append(
+                f"positional parameters {list(fast_method.params)} != "
+                f"reference {list(ref_method.params)}"
+            )
+        else:
+            missing_defaults = [
+                p for p in ref_method.defaulted
+                if p in fast_method.params + fast_method.kwonly
+                and p not in fast_method.defaulted
+            ]
+            if missing_defaults:
+                problems.append(
+                    f"parameter(s) {missing_defaults} lost their reference default"
+                )
+        if set(ref_method.kwonly) - set(fast_method.kwonly) - set(fast_method.params):
+            problems.append(
+                f"keyword-only parameter(s) "
+                f"{sorted(set(ref_method.kwonly) - set(fast_method.kwonly))} missing"
+            )
+        for problem in problems:
+            self._add(
+                cls.path,
+                fast_method.node.lineno,
+                fast_method.node.col_offset,
+                "REP502",
+                f"{cls.name}.{fast_method.name} is signature-incompatible "
+                f"with the reference it overrides: {problem}",
+            )
+
+    # --------------------------------------------------------- REP503/REP504
+    def _check_drift(
+        self,
+        project: ProjectIndex,
+        pairs: List[Tuple[ClassInfo, ClassInfo, FunctionInfo, FunctionInfo]],
+    ) -> None:
+        manifest = project.parity_manifest
+        if manifest is None:
+            # No manifest at all: everything is unrecorded (one finding, on
+            # the first backend module, rather than one per pair).
+            first = pairs[0][0]
+            self._add(
+                first.path, 1, 0, "REP504",
+                "no parity manifest found "
+                f"({project.parity_manifest_label}); run --update-parity "
+                "to record the reference/backend hash pairs",
+            )
+            return
+        recorded: Dict[str, dict] = manifest.get("pairs", {})
+        seen_refs = set()
+        for cls, reference, ref_method, fast_method in pairs:
+            seen_refs.add(ref_method.qualname)
+            entry = recorded.get(ref_method.qualname)
+            override_key = f"{cls.qualname}.{fast_method.name}"
+            if entry is None:
+                self._add(
+                    cls.path, fast_method.node.lineno, fast_method.node.col_offset,
+                    "REP504",
+                    f"parity pair {ref_method.qualname} <- {override_key} is "
+                    "not in the manifest; run --update-parity",
+                )
+                continue
+            ref_changed = body_hash(ref_method.node) != entry.get("reference")
+            override_entry = entry.get("overrides", {}).get(override_key)
+            if override_entry is None:
+                self._add(
+                    cls.path, fast_method.node.lineno, fast_method.node.col_offset,
+                    "REP504",
+                    f"override {override_key} of {ref_method.qualname} is not "
+                    "in the manifest; run --update-parity",
+                )
+                continue
+            fast_changed = body_hash(fast_method.node) != override_entry.get("hash")
+            if ref_changed and not fast_changed:
+                ref_module = project.module_by_name(ref_method.module)
+                if ref_module is not None and _method_marked_reviewed(
+                    ref_module, ref_method.node
+                ):
+                    continue
+                self._add(
+                    ref_method.path,
+                    ref_method.node.lineno,
+                    ref_method.node.col_offset,
+                    "REP503",
+                    f"{ref_method.qualname} changed but its backend override "
+                    f"{override_key} did not: semantic drift between backends. "
+                    "Mirror the change (then --update-parity), or mark the "
+                    "method '# reprolint: parity-reviewed' if the override is "
+                    "intentionally unaffected",
+                )
+            elif fast_changed or ref_changed:
+                self._add(
+                    cls.path, fast_method.node.lineno, fast_method.node.col_offset,
+                    "REP504",
+                    f"manifest hash for {override_key} is stale; run "
+                    "--update-parity and commit the manifest",
+                )
+        # Manifest entries whose reference module is in this run but whose
+        # method vanished: stale entries must be pruned.
+        for qualname, entry in sorted(recorded.items()):
+            if qualname in seen_refs:
+                continue
+            module = project.module_by_name(str(entry.get("module", "")))
+            if module is None:
+                continue  # partial lint: the module is simply not in the run
+            self._add(
+                module.path, 1, 0, "REP504",
+                f"manifest records {qualname}, which no longer exists (or "
+                "lost its overrides); run --update-parity",
+            )

@@ -1,0 +1,441 @@
+"""REP31x — interprocedural unit inference (the dataflow upgrade of REP3xx).
+
+REP301/302 are *intra-expression*: they see ``a_ns + b_s`` or
+``f(warmup_ns=delay_s)`` only when both suffixes are visible in the same
+expression.  This family tracks units *through* the code: a value acquires a
+unit from the suffix of the name it was bound to (or returned from), keeps
+it across assignments, and is checked wherever it lands — including a
+parameter of a function three calls away in another module.
+
+* **REP311** — a value whose inferred unit conflicts with the unit suffix of
+  the parameter it is passed to.  Callees are resolved project-wide through
+  the symbol table (plain calls, module attributes, ``self.`` methods,
+  dataclass constructors); for unresolvable callees the keyword-name suffix
+  still anchors the check.  Conflicts already visible syntactically are left
+  to REP302 (the intra-expression fallback) so each defect is reported once.
+* **REP312** — a unit-carrying value is bound to a name whose suffix
+  disagrees (``timeout_ns = delay_s``, ``for t_us in starts_ns:``), or
+  returned from a function whose name promises a different unit
+  (``def warmup_ns(): return self.delay_s``).
+
+Inference is deliberately conservative: multiplication/division erase units
+(that is how conversions are written), a parameter with call sites that
+disagree is treated as polymorphic (no unit, no finding), and anything
+unresolved is unknown, never an error.  Propagation runs to a fixpoint
+(bounded) so units flow through chains of helper functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.core import Checker, Finding, ModuleInfo, ProjectIndex, register
+from tools.reprolint.checkers.units import UNIT_SUFFIXES, _operand_unit, unit_of
+from tools.reprolint.symbols import ClassInfo, FunctionInfo
+
+#: (dimension, unit) pair as used by the REP3xx family.
+Unit = Tuple[str, str]
+
+#: Call sites of an unsuffixed parameter disagree: treat as polymorphic.
+_CONFLICT = ("<conflict>", "<conflict>")
+
+#: Builtins that return a value of the same unit as their argument(s).
+_PASSTHROUGH = {"abs", "min", "max", "sum", "sorted", "round", "float", "int"}
+
+#: Fixpoint bound: unit chains longer than this many calls are vanishingly
+#: rare, and the bound keeps pathological call graphs linear.
+_MAX_PASSES = 6
+
+
+class _FunctionUnits:
+    """Mutable interprocedural state for one function."""
+
+    __slots__ = ("info", "param_units", "return_unit", "enclosing")
+
+    def __init__(self, info: FunctionInfo, enclosing: Optional[ClassInfo]) -> None:
+        self.info = info
+        self.enclosing = enclosing
+        #: param name -> unit; suffix-derived entries are authoritative and
+        #: never overwritten, propagated entries may be refined per pass.
+        self.param_units: Dict[str, Unit] = {}
+        for param in info.params + info.kwonly:
+            unit = unit_of(param)
+            if unit is not None:
+                self.param_units[param] = unit
+        self.return_unit: Optional[Unit] = unit_of(info.name)
+
+
+@register
+class UnitFlowChecker(Checker):
+    name = "unit-dataflow"
+    rules = {
+        "REP311": "value's inferred unit conflicts with the unit suffix of "
+        "the parameter it is passed to (cross-module dataflow)",
+        "REP312": "value's inferred unit conflicts with the suffix of the "
+        "name it is assigned to or returned as",
+    }
+
+    def __init__(self) -> None:
+        self._by_path: Dict[str, List[Finding]] = {}
+
+    # ------------------------------------------------------------ life cycle
+    def prepare(self, project: ProjectIndex) -> None:
+        symbols = project.symbols
+        self._functions: Dict[str, _FunctionUnits] = {}
+        self._fixed_returns: Set[str] = set()
+        for qualname, info in symbols.functions.items():
+            enclosing = None
+            if info.class_name is not None:
+                enclosing = symbols.classes.get(f"{info.module}.{info.class_name}")
+            state = _FunctionUnits(info, enclosing)
+            if state.return_unit is not None:
+                self._fixed_returns.add(qualname)
+            self._functions[qualname] = state
+
+        for _ in range(_MAX_PASSES):
+            if not self._propagate(project):
+                break
+        self._emit(project)
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        yield from self._by_path.get(module.path, [])
+
+    # ----------------------------------------------------------- propagation
+    def _propagate(self, project: ProjectIndex) -> bool:
+        """One pass: flow argument units into parameters and return units
+        out of bodies.  Returns True when anything changed."""
+        param_candidates: Dict[Tuple[str, str], Set[Unit]] = {}
+        return_observed: Dict[str, Set[Optional[Unit]]] = {}
+
+        for qualname, state in self._functions.items():
+            env = self._initial_env(state)
+            for stmt, stmt_env in _walk_with_env(state.info.node, env, self, state, project):
+                for call in _calls_in(stmt):
+                    callee = project.symbols.resolve_call(
+                        state.info.module, call, state.enclosing
+                    )
+                    if callee is None or callee.qualname not in self._functions:
+                        continue
+                    target = self._functions[callee.qualname]
+                    for param, arg in _bind_args(callee, call):
+                        if unit_of(param) is not None:
+                            continue  # suffixed params are authoritative
+                        unit = self._infer(arg, stmt_env, state, project)
+                        if unit is not None:
+                            param_candidates.setdefault(
+                                (callee.qualname, param), set()
+                            ).add(unit)
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    if qualname not in self._fixed_returns:
+                        unit = self._infer(stmt.value, stmt_env, state, project)
+                        return_observed.setdefault(qualname, set()).add(unit)
+
+        changed = False
+        for (qualname, param), units in param_candidates.items():
+            state = self._functions[qualname]
+            new = next(iter(units)) if len(units) == 1 else _CONFLICT
+            if state.param_units.get(param) != new:
+                state.param_units[param] = new
+                changed = True
+        for qualname, units in return_observed.items():
+            state = self._functions[qualname]
+            known = {u for u in units if u is not None and u != _CONFLICT}
+            new = next(iter(known)) if len(known) == 1 and len(units) == 1 else None
+            if state.return_unit != new:
+                state.return_unit = new
+                changed = True
+        return changed
+
+    # -------------------------------------------------------------- emission
+    def _emit(self, project: ProjectIndex) -> None:
+        for state in self._functions.values():
+            module = self._module_of(state, project)
+            if module is None:
+                continue
+            env = self._initial_env(state)
+            out = self._by_path.setdefault(module.path, [])
+            for stmt, stmt_env in _walk_with_env(
+                state.info.node, env, self, state, project, findings=out, module=module
+            ):
+                for call in _calls_in(stmt):
+                    out.extend(self._check_call(call, stmt_env, state, project, module))
+
+    def _module_of(self, state: _FunctionUnits, project: ProjectIndex) -> Optional[ModuleInfo]:
+        for module in project.modules:
+            if module.path == state.info.path:
+                return module
+        return None
+
+    def _initial_env(self, state: _FunctionUnits) -> Dict[str, Unit]:
+        return {
+            name: unit
+            for name, unit in state.param_units.items()
+            if unit != _CONFLICT
+        }
+
+    # ------------------------------------------------------------- inference
+    def _infer(
+        self,
+        node: ast.expr,
+        env: Dict[str, Unit],
+        state: _FunctionUnits,
+        project: ProjectIndex,
+    ) -> Optional[Unit]:
+        """Unit of an expression under ``env``, or None when unknown."""
+        if isinstance(node, ast.Name):
+            unit = env.get(node.id)
+            if unit is not None:
+                return unit
+            return unit_of(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self._infer(node.value, env, state, project)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, env, state, project)
+        if isinstance(node, ast.IfExp):
+            a = self._infer(node.body, env, state, project)
+            b = self._infer(node.orelse, env, state, project)
+            return a if a == b else None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self._infer(node.left, env, state, project)
+                right = self._infer(node.right, env, state, project)
+                if left == right:
+                    return left
+                return left if right is None else right if left is None else None
+            return None  # *, /, // etc. are conversions: unit erased
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env, state, project)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            units = {self._infer(e, env, state, project) for e in node.elts}
+            return units.pop() if len(units) == 1 else None
+        return None
+
+    def _infer_call(
+        self,
+        node: ast.Call,
+        env: Dict[str, Unit],
+        state: _FunctionUnits,
+        project: ProjectIndex,
+    ) -> Optional[Unit]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH:
+            units = {self._infer(a, env, state, project) for a in node.args}
+            units.discard(None)
+            return units.pop() if len(units) == 1 else None
+        callee = project.symbols.resolve_call(state.info.module, node, state.enclosing)
+        if callee is not None and callee.qualname in self._functions:
+            unit = self._functions[callee.qualname].return_unit
+            return None if unit == _CONFLICT else unit
+        # Unresolved: the called name's own suffix still promises a unit
+        # (``obj.elapsed_ns()``) — methods are conventionally suffixed too.
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return unit_of(name)
+
+    # ---------------------------------------------------------------- checks
+    def _check_call(
+        self,
+        call: ast.Call,
+        env: Dict[str, Unit],
+        state: _FunctionUnits,
+        project: ProjectIndex,
+        module: ModuleInfo,
+    ) -> Iterator[Finding]:
+        callee = project.symbols.resolve_call(state.info.module, call, state.enclosing)
+        target = (
+            self._functions.get(callee.qualname) if callee is not None else None
+        )
+        if target is not None:
+            label = callee.name  # type: ignore[union-attr]
+            for param, arg in _bind_args(target.info, call):
+                param_unit = target.param_units.get(param)
+                if param_unit is None or param_unit == _CONFLICT:
+                    continue
+                if self._syntactic_keyword_conflict(param, arg, call):
+                    continue  # REP302's territory: report once
+                unit = self._infer(arg, env, state, project)
+                if unit is not None and unit != param_unit:
+                    yield self.finding(
+                        module, arg, "REP311",
+                        f"value flowing into parameter {param!r} of {label}() "
+                        f"carries [{unit[1]}] but the parameter expects "
+                        f"[{param_unit[1]}]; convert explicitly first",
+                    )
+        else:
+            # Fallback: unresolved callee, but a suffixed keyword name still
+            # declares the expected unit; dataflow sees what REP302 cannot.
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                expected = unit_of(keyword.arg)
+                if expected is None:
+                    continue
+                if _operand_unit(keyword.value) is not None:
+                    continue  # syntactically visible: REP302 reports it
+                unit = self._infer(keyword.value, env, state, project)
+                if unit is not None and unit != expected:
+                    yield self.finding(
+                        module, keyword.value, "REP311",
+                        f"value flowing into keyword {keyword.arg!r} carries "
+                        f"[{unit[1]}] but the keyword expects [{expected[1]}]; "
+                        "convert explicitly first",
+                    )
+
+    @staticmethod
+    def _syntactic_keyword_conflict(
+        param: str, arg: ast.expr, call: ast.Call
+    ) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == param and keyword.value is arg:
+                return (
+                    unit_of(param) is not None and _operand_unit(arg) is not None
+                )
+        return False
+
+    # ------------------------------------------------------- binding (REP312)
+    def _bind_target(
+        self,
+        target: ast.expr,
+        unit: Optional[Unit],
+        env: Dict[str, Unit],
+        node: ast.stmt,
+        findings: Optional[List[Finding]],
+        module: Optional[ModuleInfo],
+    ) -> None:
+        """Record ``target = <value of unit>`` in the env; flag conflicts."""
+        if not isinstance(target, ast.Name):
+            return
+        declared = unit_of(target.id)
+        if declared is not None:
+            if (
+                unit is not None
+                and unit != declared
+                and findings is not None
+                and module is not None
+            ):
+                findings.append(
+                    self.finding(
+                        module, node, "REP312",
+                        f"{target.id!r} [{declared[1]}] is bound to a value "
+                        f"carrying [{unit[1]}]; convert explicitly first",
+                    )
+                )
+            env[target.id] = declared
+        elif unit is not None:
+            env[target.id] = unit
+        else:
+            env.pop(target.id, None)
+
+
+def _calls_in(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls in the statement's *own* expressions.
+
+    Compound statements contribute only their header expression — the nested
+    statements are yielded separately by :func:`_walk_with_env`, so walking
+    the whole subtree here would double-report every nested call.
+    """
+    headers: List[ast.expr]
+    if isinstance(stmt, (ast.If, ast.While)):
+        headers = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        headers = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        headers = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.Try):
+        headers = []
+    else:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                yield node
+        return
+    for expr in headers:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _bind_args(
+    info: FunctionInfo, call: ast.Call
+) -> Iterator[Tuple[str, ast.expr]]:
+    """(parameter name, argument expression) pairs for a resolved call."""
+    params = list(info.params)
+    if info.is_method and not info.is_static and params:
+        params = params[1:]  # self/cls is bound by the call syntax
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            yield params[index], arg
+    names = set(info.params) | set(info.kwonly)
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in names:
+            yield keyword.arg, keyword.value
+
+
+def _walk_with_env(
+    func: ast.FunctionDef,
+    env: Dict[str, Unit],
+    checker: UnitFlowChecker,
+    state: _FunctionUnits,
+    project: ProjectIndex,
+    findings: Optional[List[Finding]] = None,
+    module: Optional[ModuleInfo] = None,
+) -> Iterator[Tuple[ast.stmt, Dict[str, Unit]]]:
+    """Yield ``(statement, env-before-it)`` in source order, updating the env
+    after each binding statement.  Nested defs get their own analysis run, so
+    they are skipped here."""
+
+    def visit(statements: List[ast.stmt]) -> Iterator[Tuple[ast.stmt, Dict[str, Unit]]]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield stmt, env
+            if isinstance(stmt, ast.Assign):
+                unit = checker._infer(stmt.value, env, state, project)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Tuple):
+                        continue
+                    checker._bind_target(target, unit, env, stmt, findings, module)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                unit = checker._infer(stmt.value, env, state, project)
+                checker._bind_target(stmt.target, unit, env, stmt, findings, module)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                declared = state.return_unit
+                if declared is not None and declared != _CONFLICT and unit_of(state.info.name):
+                    unit = checker._infer(stmt.value, env, state, project)
+                    if (
+                        unit is not None
+                        and unit != declared
+                        and findings is not None
+                        and module is not None
+                    ):
+                        findings.append(
+                            checker.finding(
+                                module, stmt, "REP312",
+                                f"{state.info.name}() promises [{declared[1]}] "
+                                f"but returns a value carrying [{unit[1]}]; "
+                                "convert explicitly first",
+                            )
+                        )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                unit = checker._infer(stmt.iter, env, state, project)
+                checker._bind_target(stmt.target, unit, env, stmt, findings, module)
+                yield from visit(stmt.body)
+                yield from visit(stmt.orelse)
+                continue
+            # Recurse into compound statements in source order.
+            if isinstance(stmt, (ast.If, ast.While)):
+                yield from visit(stmt.body)
+                yield from visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from visit(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                yield from visit(stmt.body)
+                for handler in stmt.handlers:
+                    yield from visit(handler.body)
+                yield from visit(stmt.orelse)
+                yield from visit(stmt.finalbody)
+
+    yield from visit(func.body)

@@ -5,17 +5,25 @@ The framework is deliberately small and dependency-free (stdlib ``ast`` +
 
 * :class:`Finding` — one diagnostic (path, line, col, rule code, message);
 * :class:`Checker` — base class; subclasses declare the rule codes they emit
-  and implement :meth:`Checker.check` over one parsed module;
+  and implement :meth:`Checker.check` over one parsed module; checkers that
+  need cross-module analysis override :meth:`Checker.prepare`, which runs
+  once per lint with every module and the project index in hand;
 * :func:`register` — decorator adding a checker class to the global registry;
 * :class:`ModuleInfo` — a parsed source file plus the comment-derived side
   tables every checker needs: suppression lines (``# reprolint:
-  disable=CODE``) and hot-block markers (``# reprolint: hot``);
+  disable=CODE``), hot-block markers (``# reprolint: hot``), parity-review
+  acknowledgements (``# reprolint: parity-reviewed``) and worker-boundary
+  markers (``# reprolint: boundary[=ErrorType]``);
 * :class:`ProjectIndex` — cross-file facts collected in a first pass over
-  every linted module, currently the dataclass-field/default index that the
-  hash-stability family cross-checks serializers against;
+  every linted module: the dataclass-field/default index the hash-stability
+  family cross-checks serializers against, the project-wide
+  :class:`~tools.reprolint.symbols.SymbolTable` (imports, classes, call
+  resolution) behind the dataflow and parity families, and the backend
+  parity manifest;
 * :func:`lint_paths` / :func:`lint_sources` — the two entry points: walk
   files, build the index, run every registered checker, drop suppressed
-  findings.
+  findings (optionally reporting suppressions that no longer suppress
+  anything as REP002).
 
 Suppression semantics: a ``# reprolint: disable=REP101`` (comma-separated
 codes, or ``all``) trailing comment suppresses matching findings on its own
@@ -35,12 +43,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
+from tools.reprolint.symbols import SymbolTable
+
 __all__ = [
     "Checker",
     "Finding",
+    "FRAMEWORK_RULES",
     "ModuleInfo",
     "ProjectIndex",
     "all_rules",
+    "build_project",
     "findings_to_json",
     "lint_paths",
     "lint_sources",
@@ -48,11 +60,24 @@ __all__ = [
     "registered_checkers",
 ]
 
-#: ``# reprolint: <directive>`` comment.  The directive is either ``hot`` or
+#: ``# reprolint: <directive>`` comment.  The directive is ``hot``,
+#: ``parity-reviewed``, ``boundary[=ErrorType]`` or
 #: ``disable=CODE[,CODE...]``; anything after ``--`` is a human justification.
 _DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>[^#]*)")
 _DISABLE = re.compile(r"disable\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)")
 _HOT = re.compile(r"\bhot\b")
+_PARITY_REVIEWED = re.compile(r"\bparity-reviewed\b")
+_BOUNDARY = re.compile(r"\bboundary(?:\s*=\s*(?P<error>[A-Za-z_][A-Za-z0-9_.]*))?")
+
+#: Rules emitted by the framework itself rather than a registered checker.
+FRAMEWORK_RULES: Dict[str, str] = {
+    "REP001": "file does not parse (syntax error)",
+    "REP002": "unused suppression: the disabled code no longer fires on "
+    "the target line",
+}
+
+#: Default location of the committed backend-parity manifest (REP5xx).
+PARITY_MANIFEST_PATH = Path(__file__).resolve().parent / "parity_manifest.json"
 
 
 @dataclass(frozen=True)
@@ -80,6 +105,18 @@ class Finding:
         }
 
 
+@dataclass(frozen=True)
+class SuppressionDirective:
+    """One ``# reprolint: disable=...`` comment, kept for unused-disable audit."""
+
+    #: Line the comment itself sits on (where REP002 is reported).
+    directive_line: int
+    #: Line whose findings it suppresses (same line, or the next for
+    #: standalone comments).
+    target_line: int
+    codes: Tuple[str, ...]
+
+
 @dataclass
 class ModuleInfo:
     """One parsed source file plus comment-derived side tables."""
@@ -91,6 +128,14 @@ class ModuleInfo:
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
     #: lines carrying a ``# reprolint: hot`` marker.
     hot_lines: Set[int] = field(default_factory=set)
+    #: lines carrying a ``# reprolint: parity-reviewed`` acknowledgement
+    #: (REP503 drift on the method defined on/after this line is waived).
+    parity_lines: Set[int] = field(default_factory=set)
+    #: line -> declared wrapper error type ("" = catch-all contract) for
+    #: ``# reprolint: boundary[=ErrorType]`` markers.
+    boundary_lines: Dict[int, str] = field(default_factory=dict)
+    #: every disable directive, for ``--report-unused-disables``.
+    directives: List[SuppressionDirective] = field(default_factory=list)
 
     @property
     def is_sim_path(self) -> bool:
@@ -115,11 +160,17 @@ class ModuleInfo:
 class ProjectIndex:
     """Cross-file facts shared by every checker.
 
-    Currently one table: ``dataclasses`` maps a dataclass name to
-    ``{field_name: default}`` where the default is the literal default value
-    when it is statically known, :data:`HAS_DEFAULT` for ``field(...)``
-    defaults whose value is not a literal, and :data:`NO_DEFAULT` for
-    required fields.
+    Three tables:
+
+    * ``dataclasses`` maps a dataclass name to ``{field_name: default}``
+      where the default is the literal default value when it is statically
+      known, :data:`HAS_DEFAULT` for ``field(...)`` defaults whose value is
+      not a literal, and :data:`NO_DEFAULT` for required fields;
+    * ``symbols`` — the project-wide :class:`~tools.reprolint.symbols.SymbolTable`
+      (modules, classes, functions, import bindings, call resolution) built
+      once over every linted module;
+    * ``parity_manifest`` — the committed backend-parity hash manifest the
+      REP5xx family diffs against (None when absent).
     """
 
     #: Sentinel: field has a default but its value is not a literal.
@@ -129,9 +180,16 @@ class ProjectIndex:
 
     def __init__(self) -> None:
         self.dataclasses: Dict[str, Dict[str, object]] = {}
+        self.symbols = SymbolTable()
+        self.modules: List[ModuleInfo] = []
+        self.parity_manifest: Optional[dict] = None
+        #: Path the manifest was loaded from, as reported in findings.
+        self.parity_manifest_label: str = "tools/reprolint/parity_manifest.json"
 
     # ------------------------------------------------------------- building
     def add_module(self, module: ModuleInfo) -> None:
+        self.modules.append(module)
+        self.symbols.add_module(module.path, module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ClassDef) and _is_dataclass(node):
                 self.dataclasses[node.name] = _dataclass_fields(node)
@@ -140,6 +198,16 @@ class ProjectIndex:
     def fields_of(self, class_name: str) -> Optional[Dict[str, object]]:
         """Field table of a known dataclass, or None."""
         return self.dataclasses.get(class_name)
+
+    def module_by_name(self, module_name: str) -> Optional[ModuleInfo]:
+        """The linted module with the given dotted name, if any."""
+        path = self.symbols.module_paths.get(module_name)
+        if path is None:
+            return None
+        for module in self.modules:
+            if module.path == path:
+                return module
+        return None
 
 
 def _is_dataclass(node: ast.ClassDef) -> bool:
@@ -203,6 +271,13 @@ class Checker:
     #: code -> one-line description of every rule this checker can emit.
     rules: Dict[str, str] = {}
 
+    def prepare(self, project: ProjectIndex) -> None:
+        """One-time cross-module pass, called before any :meth:`check`.
+
+        Checkers that analyze the whole project (dataflow, parity) compute
+        their per-module findings here and replay them from :meth:`check`.
+        """
+
     def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
         raise NotImplementedError
 
@@ -237,26 +312,25 @@ def registered_checkers() -> List[Type[Checker]]:
 
 
 def all_rules() -> Dict[str, str]:
-    """code -> description across every registered checker."""
-    table: Dict[str, str] = {}
+    """code -> description across the framework and every registered checker."""
+    table: Dict[str, str] = dict(FRAMEWORK_RULES)
     for cls in _CHECKERS:
         table.update(cls.rules)
     return table
 
 
 # ---------------------------------------------------------------- comments
-def _scan_comments(path: str, source: str) -> Tuple[Dict[int, Set[str]], Set[int]]:
-    """Extract suppression and hot-marker tables from the token stream.
+def _scan_comments(module: ModuleInfo) -> None:
+    """Populate the comment-derived side tables from the token stream.
 
-    Returns ``(suppressions, hot_lines)``.  Tokenizing (rather than regexing
-    raw lines) means directives inside string literals are never honoured.
+    Fills suppressions, hot/parity/boundary marker lines and the directive
+    list.  Tokenizing (rather than regexing raw lines) means directives
+    inside string literals are never honoured.
     """
-    suppressions: Dict[int, Set[str]] = {}
-    hot_lines: Set[int] = set()
     try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        tokens = list(tokenize.generate_tokens(io.StringIO(module.source).readline))
     except (tokenize.TokenError, IndentationError):  # pragma: no cover
-        return suppressions, hot_lines
+        return
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -267,13 +341,20 @@ def _scan_comments(path: str, source: str) -> Tuple[Dict[int, Set[str]], Set[int
         line = token.start[0]
         standalone = token.line.strip().startswith("#")
         if _HOT.search(body):
-            hot_lines.add(line)
+            module.hot_lines.add(line)
+        if _PARITY_REVIEWED.search(body):
+            module.parity_lines.add(line)
+        boundary = _BOUNDARY.search(body)
+        if boundary:
+            module.boundary_lines[line] = boundary.group("error") or ""
         disable = _DISABLE.search(body)
         if disable:
             codes = {c.strip() for c in disable.group("codes").split(",") if c.strip()}
             target = line + 1 if standalone else line
-            suppressions.setdefault(target, set()).update(codes)
-    return suppressions, hot_lines
+            module.suppressions.setdefault(target, set()).update(codes)
+            module.directives.append(
+                SuppressionDirective(line, target, tuple(sorted(codes)))
+            )
 
 
 # ------------------------------------------------------------------ running
@@ -288,8 +369,9 @@ def _parse_module(path: str, source: str) -> Tuple[Optional[ModuleInfo], Optiona
             code="REP001",
             message=f"syntax error: {exc.msg}",
         )
-    suppressions, hot_lines = _scan_comments(path, source)
-    return ModuleInfo(path, source, tree, suppressions, hot_lines), None
+    module = ModuleInfo(path, source, tree)
+    _scan_comments(module)
+    return module, None
 
 
 def collect_files(paths: Sequence[str]) -> List[Path]:
@@ -317,13 +399,54 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
     return unique
 
 
+_LOAD_DEFAULT_MANIFEST = object()
+
+
+def _load_default_manifest() -> Optional[dict]:
+    if not PARITY_MANIFEST_PATH.exists():
+        return None
+    try:
+        return json.loads(PARITY_MANIFEST_PATH.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt manifest
+        return None
+
+
+def _unused_disables(module: ModuleInfo, raw: List[Finding]) -> Iterator[Finding]:
+    """REP002 findings for disable directives that suppress nothing."""
+    by_line: Dict[int, Set[str]] = {}
+    for finding in raw:
+        by_line.setdefault(finding.line, set()).add(finding.code)
+    for directive in module.directives:
+        fired = by_line.get(directive.target_line, set())
+        for code in directive.codes:
+            used = bool(fired) if code == "all" else code in fired
+            if not used:
+                label = "disable=all" if code == "all" else f"disable={code}"
+                yield Finding(
+                    path=module.path,
+                    line=directive.directive_line,
+                    col=0,
+                    code="REP002",
+                    message=f"unused suppression {label!r}: nothing fires on "
+                    f"line {directive.target_line}; delete the stale directive",
+                )
+
+
 def lint_sources(
-    sources: Dict[str, str], select: Optional[Iterable[str]] = None
+    sources: Dict[str, str],
+    select: Optional[Iterable[str]] = None,
+    *,
+    parity_manifest: object = _LOAD_DEFAULT_MANIFEST,
+    report_unused_disables: bool = False,
 ) -> List[Finding]:
     """Lint in-memory sources (``path -> text``).  The test-friendly core.
 
     ``select`` restricts output to the given rule codes or code prefixes
-    (``"REP1"`` selects the whole determinism family).
+    (``"REP1"`` selects the whole determinism family).  ``parity_manifest``
+    overrides the committed REP5xx manifest (a parsed dict, or None to run
+    without one); by default the committed file is loaded.  With
+    ``report_unused_disables``, disable directives whose codes no longer
+    fire on their target line are reported as REP002.
     """
     modules: List[ModuleInfo] = []
     findings: List[Finding] = []
@@ -335,15 +458,24 @@ def lint_sources(
             modules.append(module)
 
     project = ProjectIndex()
+    if parity_manifest is _LOAD_DEFAULT_MANIFEST:
+        project.parity_manifest = _load_default_manifest()
+    else:
+        project.parity_manifest = parity_manifest  # type: ignore[assignment]
+
     for module in modules:
         project.add_module(module)
 
     checkers = [cls() for cls in _CHECKERS]
+    for checker in checkers:
+        checker.prepare(project)
     for module in modules:
+        raw: List[Finding] = []
         for checker in checkers:
-            for finding in checker.check(module, project):
-                if not module.suppressed(finding):
-                    findings.append(finding)
+            raw.extend(checker.check(module, project))
+        findings.extend(f for f in raw if not module.suppressed(f))
+        if report_unused_disables:
+            findings.extend(_unused_disables(module, raw))
 
     if select is not None:
         wanted = tuple(select)
@@ -352,14 +484,37 @@ def lint_sources(
     return findings
 
 
+def build_project(sources: Dict[str, str]) -> ProjectIndex:
+    """Parse ``sources`` into a populated :class:`ProjectIndex`, no linting.
+
+    ``--update-parity`` uses this to recompute the backend-parity manifest
+    from the same file set a lint run would see.
+    """
+    project = ProjectIndex()
+    for path, text in sources.items():
+        module, _ = _parse_module(path, text)
+        if module is not None:
+            project.add_module(module)
+    return project
+
+
 def lint_paths(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    *,
+    parity_manifest: object = _LOAD_DEFAULT_MANIFEST,
+    report_unused_disables: bool = False,
 ) -> List[Finding]:
     """Lint files and directories; the CLI entry point calls this."""
     sources: Dict[str, str] = {}
     for path in collect_files(paths):
         sources[str(path)] = path.read_text(encoding="utf-8")
-    return lint_sources(sources, select=select)
+    return lint_sources(
+        sources,
+        select=select,
+        parity_manifest=parity_manifest,
+        report_unused_disables=report_unused_disables,
+    )
 
 
 def findings_to_json(findings: Sequence[Finding]) -> str:

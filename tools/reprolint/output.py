@@ -1,0 +1,202 @@
+"""Output and enforcement layer: SARIF 2.1.0 emission and the baseline ratchet.
+
+SARIF is the interchange format GitHub code scanning ingests
+(``github/codeql-action/upload-sarif``); emitting it turns reprolint
+findings into PR annotations without any custom glue.  Only the small
+stable core of the spec is produced — tool driver with a rule catalogue,
+one run, one result per finding with a single physical location — which is
+exactly the subset every consumer understands.
+
+The baseline is the adoption ratchet.  ``.reprolint-baseline.json`` holds
+the findings the project has explicitly accepted; a lint run compared
+against it fails only on findings *not* in the baseline (new debt) and on
+baseline entries that no longer fire (fixed debt that must be harvested
+with ``--update-baseline`` so the baseline only ever shrinks).  Matching is
+on ``(path, code, message)`` multisets, deliberately ignoring line numbers:
+unrelated edits move lines constantly, and a baseline that churns on every
+edit trains people to regenerate it blindly — which is how new findings
+sneak into one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from tools.reprolint.core import Finding, all_rules
+
+__all__ = [
+    "BaselineComparison",
+    "compare_to_baseline",
+    "findings_to_sarif",
+    "load_baseline",
+    "render_baseline",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+BASELINE_VERSION = 1
+
+#: Identity a finding keeps across unrelated edits (no line/col — see
+#: module docstring).
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.code, finding.message)
+
+
+# ------------------------------------------------------------------- SARIF
+def findings_to_sarif(findings: Sequence[Finding]) -> dict:
+    """Findings as a SARIF 2.1.0 log object (one run, full rule catalogue).
+
+    The rule catalogue is always emitted in full so the ``ruleIndex`` of a
+    result is stable across runs regardless of which rules fired.
+    """
+    catalogue = sorted(all_rules().items())
+    rule_index = {code: i for i, (code, _) in enumerate(catalogue)}
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {"text": description},
+                            }
+                            for code, description in catalogue
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+# ----------------------------------------------------------------- baseline
+def load_baseline(path: Union[str, Path]) -> List[_Key]:
+    """Parse a committed baseline file into finding keys.
+
+    Raises ``ValueError`` on a malformed file — a broken baseline must fail
+    the lint run loudly, not silently accept everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: baseline is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: expected a baseline object with version {BASELINE_VERSION}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline 'findings' must be a list")
+    keys: List[_Key] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("path", "code", "message")
+        ):
+            raise ValueError(
+                f"{path}: each baseline entry needs string path/code/message"
+            )
+        keys.append((entry["path"], entry["code"], entry["message"]))
+    return keys
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """The canonical (sorted, stable) baseline file for these findings.
+
+    Duplicates are kept per occurrence count, not collapsed to a set: two
+    identical findings in one file are two accepted debts.
+    """
+    counted = Counter(_key(f) for f in findings)
+    rows = []
+    for key in sorted(counted):
+        rows.extend(
+            {"path": key[0], "code": key[1], "message": key[2]}
+            for _ in range(counted[key])
+        )
+    payload = {"version": BASELINE_VERSION, "findings": rows}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class BaselineComparison:
+    """Outcome of checking a lint run against the committed baseline."""
+
+    def __init__(
+        self,
+        new: List[Finding],
+        matched: List[Finding],
+        stale: List[_Key],
+    ) -> None:
+        #: Findings not covered by the baseline — fail the run.
+        self.new = new
+        #: Findings absorbed by a baseline entry — reported but accepted.
+        self.matched = matched
+        #: Baseline entries that no longer fire — fixed debt; fail the run
+        #: until ``--update-baseline`` shrinks the file.
+        self.stale = stale
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def compare_to_baseline(
+    findings: Sequence[Finding], baseline: Sequence[_Key]
+) -> BaselineComparison:
+    """Split findings into new/matched and surface stale baseline entries.
+
+    Multiset semantics: a baseline entry absorbs exactly one occurrence of
+    its key, so adding a *second* identical finding on a file still fails.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale: List[_Key] = []
+    for key in sorted(remaining):
+        stale.extend(key for _ in range(remaining[key]))
+    return BaselineComparison(new=new, matched=matched, stale=stale)
